@@ -1,0 +1,157 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation section (Sec. VI) from the simulator: ASCII plots for the
+// figures, aligned text tables for Table III, and optional CSV dumps for
+// external plotting.
+//
+// Usage:
+//
+//	experiments [fig1|fig3|fig4|fig5|table3|all] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	csvDir := flag.String("csv", "", "directory to write trace CSVs into (optional)")
+	flag.Parse()
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	run := map[string]func(string) error{
+		"fig1":   fig1,
+		"fig3":   fig3,
+		"fig4":   fig4,
+		"fig5":   fig5,
+		"table3": table3,
+	}
+	if which == "all" {
+		for _, name := range []string{"fig1", "fig3", "fig4", "fig5", "table3"} {
+			if err := run[name](*csvDir); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	f, ok := run[which]
+	if !ok {
+		log.Fatalf("unknown experiment %q (want fig1|fig3|fig4|fig5|table3|all)", which)
+	}
+	if err := f(*csvDir); err != nil {
+		log.Fatalf("%s: %v", which, err)
+	}
+}
+
+func dumpCSV(dir, name string, ts *trace.Set) error {
+	if dir == "" || ts == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ts.WriteCSV(f)
+}
+
+func fig1(csvDir string) error {
+	res, err := experiments.Fig1(experiments.DefaultFig1())
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Traces.Plot(trace.PlotOptions{
+		Width: 78, Height: 14,
+		Title: "Fig. 1 — power sensor lags the CPU utilization step (I2C path)",
+	}))
+	fmt.Printf("nominal transport lag: %v   measured half-rise lag: %.1f s\n\n",
+		res.NominalLag, float64(res.MeasuredLag))
+	return dumpCSV(csvDir, "fig1", res.Traces)
+}
+
+func fig3(csvDir string) error {
+	res, err := experiments.Fig3(experiments.DefaultFig3())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 3 — fixed-gain vs adaptive PID (T_ref = %v)\n\n", res.RefTemp)
+	for _, run := range res.Runs {
+		fan := run.Traces.Get("fan_cmd")
+		one := trace.NewSet()
+		one.Add(fan)
+		fmt.Println(one.Plot(trace.PlotOptions{
+			Width: 78, Height: 10,
+			Title: fmt.Sprintf("fan speed — %s", run.Variant),
+		}))
+		settle := "never settles (too slow)"
+		if run.Settled {
+			settle = fmt.Sprintf("settles %.0f s after the step", float64(run.SettleAfterStep))
+		}
+		fmt.Printf("  %-14s %s; low-phase oscillation ±%.0f rpm\n\n", run.Variant, settle, run.LowPhaseAmp)
+		if err := dumpCSV(csvDir, "fig3_"+string(run.Variant), run.Traces); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig4(csvDir string) error {
+	res, err := experiments.Fig4(experiments.DefaultFig4())
+	if err != nil {
+		return err
+	}
+	one := trace.NewSet()
+	one.Add(res.Traces.Get("fan_cmd"))
+	fmt.Println(one.Plot(trace.PlotOptions{
+		Width: 78, Height: 12,
+		Title: "Fig. 4 — deadzone fan control oscillates under a fixed workload",
+	}))
+	fmt.Printf("verdict: %v; amplitude ±%.0f rpm; period %.0f s\n\n",
+		res.Oscillation.Verdict, res.AmplitudeRPM, res.PeriodSeconds)
+	return dumpCSV(csvDir, "fig4", res.Traces)
+}
+
+func fig5(csvDir string) error {
+	res, err := experiments.Fig5(experiments.DefaultFig5())
+	if err != nil {
+		return err
+	}
+	both := trace.NewSet()
+	both.Add(res.Traces.Get("demand"))
+	both.Add(res.Traces.Get("fan_cmd"))
+	fmt.Println(both.Plot(trace.PlotOptions{
+		Width: 78, Height: 14,
+		Title: "Fig. 5 — proposed stack under dynamic load with noise (σ = 0.04)",
+	}))
+	fmt.Printf("fan verdict: %v; max junction %.1f °C; violations %.2f%%\n\n",
+		res.Oscillation.Verdict, float64(res.MaxJunction), res.Metrics.ViolationFrac*100)
+	return dumpCSV(csvDir, "fig5", res.Traces)
+}
+
+func table3(string) error {
+	res, err := experiments.Table3(experiments.DefaultTable3())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table III — performance and fan energy of the five solutions")
+	fmt.Printf("%-24s %12s %12s %10s %8s\n", "Solution", "Violation(%)", "Norm.energy", "MeanFan", "Tmax")
+	for _, r := range res.Rows {
+		fmt.Printf("%-24s %12.2f %12.3f %10.0f %8.1f\n",
+			r.Name, r.ViolationPct, r.NormFanEnergy, float64(r.MeanFanSpeed), float64(r.MaxJunction))
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command fansim runs one simulation scenario from the command line:
+// pick a policy, a workload and a horizon, get the paper's metrics and
+// optionally the full traces as CSV.
+//
+// Usage:
+//
+//	fansim [-policy full] [-workload square] [-duration 3600]
+//	       [-ambient 25] [-period 600] [-noise 0.04] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fansim: ")
+
+	policy := flag.String("policy", "full", "policy: none|ecoord|rcoord|atref|full|hold")
+	wl := flag.String("workload", "square", "workload: square|constant|prbs|markov|spiky")
+	duration := flag.Float64("duration", 3600, "simulated seconds")
+	ambient := flag.Float64("ambient", 25, "inlet temperature, °C")
+	period := flag.Float64("period", 600, "square-wave period, s")
+	noise := flag.Float64("noise", 0.04, "utilization noise σ")
+	util := flag.Float64("util", 0.5, "utilization for -workload constant")
+	seed := flag.Int64("seed", 42, "noise seed")
+	holdFan := flag.Float64("holdfan", 4000, "fan speed for -policy hold")
+	csvPath := flag.String("csv", "", "write traces to this CSV file")
+	flag.Parse()
+
+	cfg := sim.Default()
+	cfg.Ambient = units.Celsius(*ambient)
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	gen, err := buildWorkload(*wl, cfg, *period, *noise, *util, *seed, *duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := buildPolicy(*policy, cfg, units.RPM(*holdFan))
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := sim.NewPhysicalServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sim.Run(server, sim.RunConfig{
+		Duration:  units.Seconds(*duration),
+		Workload:  gen,
+		Policy:    pol,
+		Record:    *csvPath != "",
+		WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("policy:            %s\n", pol.Name())
+	fmt.Printf("simulated:         %d s\n", m.Ticks)
+	fmt.Printf("deadline violations: %.2f%%\n", m.ViolationFrac*100)
+	fmt.Printf("fan energy:        %.1f J (mean fan %.0f rpm)\n", float64(m.FanEnergy), float64(m.MeanFanSpeed))
+	fmt.Printf("CPU energy:        %.1f J\n", float64(m.CPUEnergy))
+	fmt.Printf("junction:          mean %.1f °C, max %.1f °C, above %v for %.0f s\n",
+		float64(m.MeanJunction), float64(m.MaxJunction), cfg.TLimit, float64(m.TimeAboveLimit))
+	fmt.Printf("delivered/demand:  %.3f / %.3f\n", float64(m.MeanDelivered), float64(m.MeanDemand))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.Traces.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traces:            %s\n", *csvPath)
+	}
+}
+
+func buildWorkload(kind string, cfg sim.Config, period, noise, util float64, seed int64, duration float64) (workload.Generator, error) {
+	switch kind {
+	case "square":
+		return workload.NewNoisy(workload.PaperSquare(units.Seconds(period)), noise, cfg.Tick, seed)
+	case "constant":
+		return workload.Constant{U: units.Utilization(util)}, nil
+	case "prbs":
+		return workload.PRBS{Low: 0.1, High: 0.7, Dwell: 60, Seed: seed}, nil
+	case "markov":
+		return workload.Markov{IdleU: 0.1, BusyU: 0.8, Dwell: 30, PIdleToBusy: 0.2, PBusyToIdle: 0.3, Seed: seed}, nil
+	case "spiky":
+		noisy, err := workload.NewNoisy(workload.PaperSquare(units.Seconds(period)), noise, cfg.Tick, seed)
+		if err != nil {
+			return nil, err
+		}
+		n := int(duration/period) + 1
+		spikes := workload.PeriodicSpikes(units.Seconds(period/4), units.Seconds(period/2), 25, 1.0, 2*n)
+		return workload.NewSpiky(noisy, spikes)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}
+
+func buildPolicy(kind string, cfg sim.Config, holdFan units.RPM) (sim.Policy, error) {
+	switch kind {
+	case "none":
+		return core.NewUncoordinated(cfg)
+	case "ecoord":
+		return core.NewECoordPolicy(cfg)
+	case "rcoord":
+		return core.NewRuleCoord(cfg, 75)
+	case "atref":
+		return core.NewRuleCoordAdaptiveRef(cfg)
+	case "full":
+		return core.NewFullStack(cfg)
+	case "hold":
+		return sim.HoldPolicy{Fan: holdFan}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", kind)
+	}
+}

@@ -1,0 +1,101 @@
+// Command fantune runs the closed-loop Ziegler–Nichols tuning procedure
+// of Sec. IV-A against the simulated Table I platform and prints the
+// ultimate gain, ultimate period and resulting gain schedule for each
+// operating region. The printed regions are the source of the library's
+// DefaultRegions.
+//
+// Usage:
+//
+//	fantune [-speeds 2000,6000] [-util 0.7] [-period 30] [-rule some-overshoot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fantune: ")
+
+	speedsFlag := flag.String("speeds", "2000,6000", "comma-separated operating fan speeds (rpm)")
+	utilFlag := flag.Float64("util", 0.7, "CPU utilization at the operating points")
+	periodFlag := flag.Float64("period", 30, "fan control period in seconds")
+	ruleFlag := flag.String("rule", "no-overshoot", "tuning rule (classic-pid, classic-pi, classic-p, pessen, some-overshoot, no-overshoot)")
+	relay := flag.Bool("relay", false, "also run the relay (Astrom-Hagglund) experiment for comparison")
+	flag.Parse()
+
+	var speeds []units.RPM
+	for _, part := range strings.Split(*speedsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad speed %q: %v", part, err)
+		}
+		speeds = append(speeds, units.RPM(v))
+	}
+	rule, err := tuning.RuleByName(*ruleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.Default()
+	results, err := core.TuneRegions(cfg, speeds, units.Utilization(*utilFlag),
+		units.Seconds(*periodFlag), rule)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Ziegler-Nichols closed-loop tuning (rule %s, u=%.2f, period %.0fs)\n",
+		rule.Name, *utilFlag, *periodFlag)
+	fmt.Printf("%-10s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+		"speed", "Tref(C)", "Ku(rpm/C)", "Pu(s)", "KP", "KI", "KD")
+	for _, r := range results {
+		fmt.Printf("%-10.0f %-10.2f %-10.1f %-10.1f %-10.1f %-10.2f %-10.1f\n",
+			float64(r.Region.RefSpeed), float64(r.RefTemp),
+			float64(r.Ultimate.Ku), float64(r.Ultimate.Pu),
+			r.Region.Gains.KP, r.Region.Gains.KI, r.Region.Gains.KD)
+	}
+
+	fmt.Println("\nGo literal for control.Region table:")
+	for _, r := range results {
+		fmt.Printf("  {RefSpeed: %.0f, Gains: control.PIDGains{KP: %.0f, KI: %.0f, KD: %.0f}},\n",
+			float64(r.Region.RefSpeed), r.Region.Gains.KP, r.Region.Gains.KI, r.Region.Gains.KD)
+	}
+
+	if *relay {
+		fmt.Println("\nRelay autotuning comparison:")
+		for _, v := range speeds {
+			plant, err := sim.NewPlant(cfg, units.Utilization(*utilFlag), v, units.Seconds(*periodFlag))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var ref units.Celsius
+			for _, r := range results {
+				if r.Region.RefSpeed == v {
+					ref = r.RefTemp
+				}
+			}
+			u, err := tuning.RelayTune(plant, tuning.RelayConfig{
+				RefTemp:   ref,
+				RefSpeed:  v,
+				Amplitude: v / 5,
+				// The 1 °C ADC floors the visible limit-cycle amplitude
+				// at one step; detect peaks just below it.
+				Prominence: 0.8,
+			})
+			if err != nil {
+				log.Printf("relay at %v: %v", v, err)
+				continue
+			}
+			fmt.Printf("  %v: Ku=%.1f rpm/C, Pu=%.1fs\n", v, float64(u.Ku), float64(u.Pu))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package coord implements the global coordination layer of Sec. V: the
+// rule-based action selector of Table II, the energy-greedy E-coord
+// baseline the paper compares against ([6], JETC), the predictive
+// set-point scheduler of Sec. V-B, and the single-step fan speed scaler
+// of Sec. V-C.
+//
+// Everything here is pure decision logic over proposals; the core package
+// assembles these pieces with the local controllers into runnable DTM
+// policies.
+package coord
+
+import "fmt"
+
+// Direction classifies a proposed change relative to the applied value.
+type Direction int
+
+// Direction values.
+const (
+	Down Direction = iota - 1
+	Hold
+	Up
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Down:
+		return "down"
+	case Hold:
+		return "hold"
+	case Up:
+		return "up"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Classify returns the direction of proposed relative to current, with a
+// tolerance band inside which the proposal counts as Hold.
+func Classify(proposed, current, tol float64) Direction {
+	switch d := proposed - current; {
+	case d > tol:
+		return Up
+	case d < -tol:
+		return Down
+	default:
+		return Hold
+	}
+}
+
+// Action is the single control action the global coordinator selects per
+// decision (Sec. V-A: "dynamically selects only one control action at a
+// time affecting the system").
+type Action int
+
+// Action values.
+const (
+	// NoAction leaves both variables unchanged.
+	NoAction Action = iota
+	// ApplyFan applies the fan-speed proposal, holding the CPU cap.
+	ApplyFan
+	// ApplyCap applies the CPU-cap proposal, holding the fan speed.
+	ApplyCap
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case NoAction:
+		return "none"
+	case ApplyFan:
+		return "fan"
+	case ApplyCap:
+		return "cap"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Rule implements Table II, the performance-biased rule matrix. Rows are
+// the CPU-cap proposal direction, columns the fan proposal direction:
+//
+//	              s_fan ↓     s_fan =     s_fan ↑
+//	u_cpu ↓       s_fan ↓     u_cpu ↓     s_fan ↑
+//	u_cpu =       s_fan ↓     —           s_fan ↑
+//	u_cpu ↑       u_cpu ↑     u_cpu ↑     s_fan ↑
+//
+// Fan-up always wins (a too-slow fan costs performance for a whole fan
+// period); cap-up beats fan-down (raising the cap restores performance,
+// and the fan can descend later); fan-down is taken only when the cap
+// does not want to rise.
+func Rule(capDir, fanDir Direction) Action {
+	switch fanDir {
+	case Up:
+		return ApplyFan
+	case Down:
+		if capDir == Up {
+			return ApplyCap
+		}
+		return ApplyFan
+	default: // fan Hold
+		if capDir == Hold {
+			return NoAction
+		}
+		return ApplyCap
+	}
+}

@@ -1,0 +1,91 @@
+package coord
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		proposed, current, tol float64
+		want                   Direction
+	}{
+		{5, 3, 1, Up},
+		{3, 5, 1, Down},
+		{3.5, 3, 1, Hold},
+		{3, 3, 0.001, Hold},
+		{2.0, 3, 0.999, Down},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.proposed, tt.current, tt.tol); got != tt.want {
+			t.Errorf("Classify(%v, %v, %v) = %v, want %v", tt.proposed, tt.current, tt.tol, got, tt.want)
+		}
+	}
+}
+
+// TestRuleTableII exhaustively checks the nine cases of Table II.
+func TestRuleTableII(t *testing.T) {
+	tests := []struct {
+		cap, fan Direction
+		want     Action
+	}{
+		{Down, Down, ApplyFan}, // s_fan ↓
+		{Down, Hold, ApplyCap}, // u_cpu ↓
+		{Down, Up, ApplyFan},   // s_fan ↑
+		{Hold, Down, ApplyFan}, // s_fan ↓
+		{Hold, Hold, NoAction}, // —
+		{Hold, Up, ApplyFan},   // s_fan ↑
+		{Up, Down, ApplyCap},   // u_cpu ↑
+		{Up, Hold, ApplyCap},   // u_cpu ↑
+		{Up, Up, ApplyFan},     // s_fan ↑
+	}
+	for _, tt := range tests {
+		if got := Rule(tt.cap, tt.fan); got != tt.want {
+			t.Errorf("Rule(cap %v, fan %v) = %v, want %v", tt.cap, tt.fan, got, tt.want)
+		}
+	}
+}
+
+// TestRuleSingleActionProperty: the coordinator never selects more than
+// one action, and selects none only when both proposals hold.
+func TestRuleSingleActionProperty(t *testing.T) {
+	f := func(c, fn int8) bool {
+		capDir := Direction(((int(c)%3)+3)%3 - 1)
+		fanDir := Direction(((int(fn)%3)+3)%3 - 1)
+		a := Rule(capDir, fanDir)
+		if capDir == Hold && fanDir == Hold {
+			return a == NoAction
+		}
+		return a == ApplyFan || a == ApplyCap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRulePerformanceBias: fan-up always wins; cap-up beats fan-down.
+func TestRulePerformanceBias(t *testing.T) {
+	for _, capDir := range []Direction{Down, Hold, Up} {
+		if got := Rule(capDir, Up); got != ApplyFan {
+			t.Errorf("fan-up vs cap %v = %v, want fan", capDir, got)
+		}
+	}
+	if got := Rule(Up, Down); got != ApplyCap {
+		t.Errorf("cap-up vs fan-down = %v, want cap (restore performance first)", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" || Hold.String() != "hold" {
+		t.Error("Direction strings wrong")
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction string empty")
+	}
+	if ApplyFan.String() != "fan" || ApplyCap.String() != "cap" || NoAction.String() != "none" {
+		t.Error("Action strings wrong")
+	}
+	if Action(9).String() == "" {
+		t.Error("unknown action string empty")
+	}
+}

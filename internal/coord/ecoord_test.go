@@ -1,0 +1,132 @@
+package coord
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func newTestECoord(t *testing.T) *ECoord {
+	t.Helper()
+	cpu, err := power.NewCPUModel(96, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, err := power.NewFanModel(29.4, 8500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewECoord(79, 76, 500, 0.05, 0.1, thermal.TableIHeatSinkLaw(), cpu, fan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestECoordValidation(t *testing.T) {
+	cpu, _ := power.NewCPUModel(96, 160)
+	fan, _ := power.NewFanModel(29.4, 8500)
+	law := thermal.TableIHeatSinkLaw()
+	cases := []struct {
+		emergency, relax float64
+		fanStep          float64
+		capStep, minCap  float64
+	}{
+		{76, 79, 500, 0.05, 0.1},  // relax above emergency
+		{79, 76, 0, 0.05, 0.1},    // zero fan step
+		{79, 76, 500, 0, 0.1},     // zero cap step
+		{79, 76, 500, 1.5, 0.1},   // cap step > 1
+		{79, 76, 500, 0.05, 1.0},  // min cap = 1
+		{79, 76, 500, 0.05, -0.1}, // negative min cap
+	}
+	for i, c := range cases {
+		_, err := NewECoord(
+			units.Celsius(c.emergency), units.Celsius(c.relax),
+			units.RPM(c.fanStep), units.Utilization(c.capStep), units.Utilization(c.minCap),
+			law, cpu, fan)
+		if err == nil {
+			t.Errorf("case %d: invalid E-coord accepted", i)
+		}
+	}
+}
+
+func TestECoordEmergencyPrefersCapping(t *testing.T) {
+	e := newTestECoord(t)
+	// Util above the would-be cap so the cut actually binds (sheds heat).
+	d := e.Decide(EState{
+		Measured: 81, Fan: 3000, FanMin: 1000, FanMax: 8500, Cap: 1.0, Util: 0.98,
+	})
+	if d.Action != ApplyCap {
+		t.Fatalf("emergency action = %v, want cap (throttling saves energy)", d.Action)
+	}
+	if d.Cap >= 1.0 {
+		t.Errorf("cap proposal = %v, want reduction", d.Cap)
+	}
+	if d.CapEff <= d.FanEff {
+		t.Errorf("cap efficiency %v not above fan efficiency %v", d.CapEff, d.FanEff)
+	}
+}
+
+func TestECoordEmergencyFanFallback(t *testing.T) {
+	// Cap already at the floor and below the running load: capping is
+	// infeasible, so the fan takes the action.
+	e := newTestECoord(t)
+	d := e.Decide(EState{
+		Measured: 81, Fan: 3000, FanMin: 1000, FanMax: 8500, Cap: 0.1, Util: 0.1,
+	})
+	if d.Action != ApplyFan {
+		t.Fatalf("floored-cap emergency action = %v, want fan", d.Action)
+	}
+	if d.Fan != 3500 {
+		t.Errorf("fan proposal = %v, want 3500", d.Fan)
+	}
+}
+
+func TestECoordEmergencyNothingLeft(t *testing.T) {
+	// Cap floored and fan at max: no action remains.
+	e := newTestECoord(t)
+	d := e.Decide(EState{
+		Measured: 81, Fan: 8500, FanMin: 1000, FanMax: 8500, Cap: 0.1, Util: 0.05,
+	})
+	if d.Action != NoAction {
+		t.Errorf("exhausted emergency action = %v, want none", d.Action)
+	}
+}
+
+func TestECoordColdSavesEnergyFanFirst(t *testing.T) {
+	e := newTestECoord(t)
+	// Cold with fan above floor: lower the fan (cubic savings) before
+	// restoring the cap.
+	d := e.Decide(EState{
+		Measured: 70, Fan: 4000, FanMin: 1000, FanMax: 8500, Cap: 0.5, Util: 0.5,
+	})
+	if d.Action != ApplyFan || d.Fan != 3500 {
+		t.Errorf("cold action = %+v, want fan down to 3500", d)
+	}
+	// Fan at floor: now release the cap.
+	d = e.Decide(EState{
+		Measured: 70, Fan: 1000, FanMin: 1000, FanMax: 8500, Cap: 0.5, Util: 0.5,
+	})
+	if d.Action != ApplyCap || d.Cap != 0.55 {
+		t.Errorf("cold floored action = %+v, want cap release to 0.55", d)
+	}
+	// Fully recovered: nothing to do.
+	d = e.Decide(EState{
+		Measured: 70, Fan: 1000, FanMin: 1000, FanMax: 8500, Cap: 1.0, Util: 0.5,
+	})
+	if d.Action != NoAction {
+		t.Errorf("recovered cold action = %v, want none", d.Action)
+	}
+}
+
+func TestECoordComfortBandHolds(t *testing.T) {
+	e := newTestECoord(t)
+	d := e.Decide(EState{
+		Measured: 77.5, Fan: 3000, FanMin: 1000, FanMax: 8500, Cap: 0.7, Util: 0.7,
+	})
+	if d.Action != NoAction {
+		t.Errorf("in-band action = %v, want none", d.Action)
+	}
+}

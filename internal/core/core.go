@@ -1,0 +1,497 @@
+// Package core assembles the paper's full dynamic thermal management
+// stack (Fig. 2): the adaptive PID fan-speed controller with quantization
+// guard (Sec. IV), the deadzone CPU capper (Sec. III-A), and the global
+// coordination layer (Sec. V) — rule-based action selection, predictive
+// set-point scheduling, and single-step fan scaling — as sim.Policy
+// implementations. The five Table III solutions are each one constructor
+// call away.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/coord"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// CoordMode selects the global coordination scheme.
+type CoordMode int
+
+// CoordMode values.
+const (
+	// NoCoordination applies both local proposals independently — the
+	// Table III baseline.
+	NoCoordination CoordMode = iota
+	// RuleBased serializes actions through the Table II rule matrix.
+	RuleBased
+	// EnergyAware is the E-coord baseline [6]: a lazy (energy-optimal)
+	// fan set-point plus greedy ΔT/ΔW action selection at emergencies,
+	// which always prefers throttling because throttling saves power.
+	EnergyAware
+)
+
+// String implements fmt.Stringer.
+func (m CoordMode) String() string {
+	switch m {
+	case NoCoordination:
+		return "w/o-coordination"
+	case RuleBased:
+		return "r-coord"
+	case EnergyAware:
+		return "e-coord"
+	default:
+		return fmt.Sprintf("CoordMode(%d)", int(m))
+	}
+}
+
+// Options configures a DTM policy. NewDTM applies the documented defaults
+// to zero fields.
+type Options struct {
+	// Platform the DTM manages; used for actuator limits and the models
+	// E-coord scores actions with. Required.
+	Config sim.Config
+
+	// FanInterval is Δt_fan^control (default 30 s, Sec. VI-A).
+	FanInterval units.Seconds
+	// RefTemp is the fan controller set-point T_ref^fan (default 75 °C).
+	RefTemp units.Celsius
+
+	// Mode selects the coordination scheme (default NoCoordination).
+	Mode CoordMode
+
+	// AdaptiveRef enables the predictive T_ref scheduler of Sec. V-B
+	// over [RefLo, RefHi] (defaults 70 / 80 °C) with a moving-average
+	// predictor of PredictorWindow CPU ticks (default 30).
+	AdaptiveRef     bool
+	RefLo, RefHi    units.Celsius
+	PredictorWindow int
+
+	// SingleStep enables the Sec. V-C fan boost: when the violated-tick
+	// fraction over BoostWindow ticks (default 10) exceeds
+	// BoostThreshold (default 0.3), the fan pins to maximum.
+	SingleStep     bool
+	BoostThreshold float64
+	BoostWindow    int
+
+	// Regions is the adaptive PID gain schedule (default DefaultRegions).
+	Regions []control.Region
+	// QuantGuard applies Eq. 10 with the sensor's quantization step
+	// (default true).
+	QuantGuard *bool
+	// FanSlewPerDecision bounds how far one fan decision may move the
+	// command (default 1500 rpm; negative disables). Sec. V-C's
+	// N_trans^fan — multiple decision periods to traverse the range —
+	// presumes exactly such a bound, and it caps the overshoot a
+	// quantized error can command.
+	FanSlewPerDecision units.RPM
+
+	// CPU capper band and step (defaults 76 / 79 °C, 0.05, floor 0.5).
+	// Under NoCoordination and RuleBased the band is re-derived every
+	// tick to ride CapBandOffset above the current fan set-point — the
+	// capper's hold band must sit strictly above the quantization
+	// guard's hold band or the system deadlocks with a starved cap and
+	// a held fan (both controllers inside their deadzones; see
+	// DESIGN.md). CapLow/CapHigh seed the initial band and the E-coord
+	// thresholds.
+	CapLow, CapHigh units.Celsius
+	CapStep         units.Utilization
+	MinCap          units.Utilization
+	// CapBandOffset is how far above the fan set-point (plus one
+	// quantization step) the capper release threshold sits; the band is
+	// CapBandWidth wide and clamped below TLimit. Defaults 0.5 / 2.5 °C.
+	CapBandOffset units.Celsius
+	CapBandWidth  units.Celsius
+	// CoordEpoch is the global coordinator's action period (default
+	// 5 s): performance-harming actions (cap cuts, E-coord escalations)
+	// are serialized to at most one per epoch — "only one control
+	// action at a time" (Sec. V-A) — while performance-restoring ones
+	// (cap releases) pass freely, implementing the table's performance
+	// bias.
+	CoordEpoch units.Seconds
+
+	// Emergency is the E-coord emergency threshold (default CapHigh).
+	Emergency units.Celsius
+}
+
+func (o *Options) setDefaults() {
+	if o.FanInterval == 0 {
+		o.FanInterval = 30
+	}
+	if o.RefTemp == 0 {
+		o.RefTemp = 75
+	}
+	if o.RefLo == 0 {
+		o.RefLo = 70
+	}
+	if o.RefHi == 0 {
+		// The paper scales T_ref up to 80 °C; with the 80 °C hardware
+		// limit, 1 °C quantization and the 10 s lag, a set-point above
+		// 78 leaves the capper no band to operate in, so the shipped
+		// default stops there.
+		o.RefHi = 78
+	}
+	if o.PredictorWindow == 0 {
+		o.PredictorWindow = 30
+	}
+	if o.BoostThreshold == 0 {
+		o.BoostThreshold = 0.3
+	}
+	if o.BoostWindow == 0 {
+		o.BoostWindow = 10
+	}
+	if o.Regions == nil {
+		o.Regions = DefaultRegions()
+	}
+	if o.FanSlewPerDecision == 0 {
+		o.FanSlewPerDecision = 1500
+	}
+	if o.QuantGuard == nil {
+		t := true
+		o.QuantGuard = &t
+	}
+	if o.CapLow == 0 {
+		o.CapLow = 76
+	}
+	if o.CapHigh == 0 {
+		o.CapHigh = 79
+	}
+	if o.CapStep == 0 {
+		o.CapStep = 0.05
+	}
+	if o.MinCap == 0 {
+		// Real platforms floor the P-state cap near half throttle;
+		// deeper caps would let a scheme "save" fan energy by starving
+		// the machine outright.
+		o.MinCap = 0.5
+	}
+	if o.CapBandOffset == 0 {
+		o.CapBandOffset = 0.5
+	}
+	if o.CapBandWidth == 0 {
+		o.CapBandWidth = 2.5
+	}
+	if o.CoordEpoch == 0 {
+		o.CoordEpoch = 5
+	}
+	if o.Emergency == 0 {
+		o.Emergency = o.CapHigh
+	}
+}
+
+// DTM is the global controller of Fig. 2 as a sim.Policy.
+type DTM struct {
+	opt      Options
+	name     string
+	fan      control.FanController
+	adaptive *control.AdaptivePID
+	capper   *control.Capper
+	ecoord   *coord.ECoord
+	setpoint *coord.SetpointScheduler
+	scaler   *coord.SingleStepScaler
+
+	lastFan  units.Seconds
+	fanEver  bool
+	boosting bool
+	// standingFanDir is the fan's most recent decision direction,
+	// persisting until its next decision.
+	standingFanDir coord.Direction
+	// lastCut is the last performance-harming action instant; such
+	// actions are serialized to one per CoordEpoch.
+	lastCut units.Seconds
+	everCut bool
+	// lastRelease is the E-coord lazy cap-release instant.
+	lastRelease units.Seconds
+}
+
+// NewDTM builds a DTM policy from the options.
+func NewDTM(name string, opt Options) (*DTM, error) {
+	opt.setDefaults()
+	if err := opt.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.FanInterval < opt.Config.Tick {
+		return nil, fmt.Errorf("core: fan interval %v below tick %v", opt.FanInterval, opt.Config.Tick)
+	}
+	limits := control.Limits{Min: opt.Config.FanMinSpeed, Max: opt.Config.FanMaxSpeed}
+
+	refTemp := opt.RefTemp
+	if opt.Mode == EnergyAware {
+		// The energy-greedy scheme runs the fan as lazily as the
+		// hardware limit allows; cooling beyond that wastes energy by
+		// its own objective.
+		refTemp = opt.Emergency
+	}
+	adaptive, err := control.NewAdaptivePID(opt.Regions, refTemp, limits)
+	if err != nil {
+		return nil, err
+	}
+	if opt.FanSlewPerDecision > 0 {
+		adaptive.SetSlewPerStep(opt.FanSlewPerDecision)
+	}
+	var fan control.FanController = adaptive
+	if *opt.QuantGuard {
+		guard, err := control.NewQuantGuard(adaptive, quantStep(opt.Config))
+		if err != nil {
+			return nil, err
+		}
+		fan = guard
+	}
+	capper, err := control.NewCapper(opt.CapLow, opt.CapHigh, opt.CapStep, opt.MinCap)
+	if err != nil {
+		return nil, err
+	}
+	d := &DTM{opt: opt, name: name, fan: fan, adaptive: adaptive, capper: capper}
+
+	if opt.Mode == EnergyAware {
+		cpu, fanModel, err := opt.Config.Models()
+		if err != nil {
+			return nil, err
+		}
+		ec, err := coord.NewECoord(opt.Emergency, opt.CapLow, 500, opt.CapStep, opt.MinCap,
+			opt.Config.HeatSinkLaw, cpu, fanModel)
+		if err != nil {
+			return nil, err
+		}
+		d.ecoord = ec
+	}
+	if opt.AdaptiveRef {
+		sp, err := coord.NewSetpointScheduler(opt.RefLo, opt.RefHi, opt.PredictorWindow)
+		if err != nil {
+			return nil, err
+		}
+		d.setpoint = sp
+	}
+	if opt.SingleStep {
+		sc, err := coord.NewSingleStepScaler(opt.BoostThreshold, opt.BoostWindow, 1)
+		if err != nil {
+			return nil, err
+		}
+		d.scaler = sc
+	}
+	d.Reset()
+	return d, nil
+}
+
+// quantStep returns the temperature quantization step of the platform's
+// ADC, or 1 °C when quantization is disabled in the config.
+func quantStep(cfg sim.Config) float64 {
+	if cfg.Sensor.ADCBits <= 0 {
+		return 1
+	}
+	levels := (1 << uint(cfg.Sensor.ADCBits)) - 1
+	return (cfg.Sensor.RangeMax - cfg.Sensor.RangeMin) / float64(levels)
+}
+
+// Name implements sim.Policy.
+func (d *DTM) Name() string { return d.name }
+
+// Reset implements sim.Policy.
+func (d *DTM) Reset() {
+	d.fan.Reset()
+	d.capper.Reset()
+	if d.setpoint != nil {
+		d.setpoint.Reset()
+	}
+	if d.scaler != nil {
+		d.scaler.Reset()
+	}
+	d.lastFan = 0
+	d.fanEver = false
+	d.boosting = false
+	d.standingFanDir = coord.Hold
+	d.lastCut = 0
+	d.everCut = false
+	d.lastRelease = 0
+	d.capper.Low, d.capper.High = d.opt.CapLow, d.opt.CapHigh
+}
+
+// fanTick reports whether a fan decision is due at time t.
+func (d *DTM) fanTick(t units.Seconds) bool {
+	if !d.fanEver {
+		return true
+	}
+	return t-d.lastFan >= d.opt.FanInterval-1e-9
+}
+
+// retuneCapperBand slides the capper thresholds to ride above the current
+// fan set-point: release below ref + T_Q + offset, throttle above that
+// plus the band width, clamped below the hardware limit. This keeps the
+// capper's hold band disjoint from the quantization guard's hold band —
+// overlapping bands deadlock the platform at a starved cap (see Options).
+func (d *DTM) retuneCapperBand() {
+	tq := units.Celsius(quantStep(d.opt.Config))
+	lo := d.fan.Reference() + tq + d.opt.CapBandOffset
+	hi := lo + d.opt.CapBandWidth
+	if max := d.opt.Config.TLimit - 0.5; hi > max {
+		hi = max
+	}
+	if lo > hi-1 {
+		lo = hi - 1
+	}
+	d.capper.Low, d.capper.High = lo, hi
+}
+
+// Step implements sim.Policy.
+func (d *DTM) Step(obs sim.Observation) sim.Command {
+	// Predictive set-point: observe demand every CPU tick, reschedule
+	// T_ref before any decision that reads it (Sec. V-B).
+	if d.setpoint != nil {
+		d.fan.SetReference(d.setpoint.Observe(obs.Demand))
+	}
+	if d.opt.Mode != EnergyAware {
+		d.retuneCapperBand()
+	}
+
+	// Single-step boost pre-empts everything for the fan (Sec. V-C).
+	// While boosted the PID is held (integral frozen, derivative
+	// tracking) so the boost does not wind it toward the minimum.
+	boosted := false
+	releasing := false
+	if d.scaler != nil {
+		boosted = d.scaler.Observe(obs.Violated, obs.Measured, d.fan.Reference())
+		releasing = d.boosting && !boosted
+		d.boosting = boosted
+	}
+
+	// Local proposals.
+	capProposal := d.capper.Decide(control.CapInputs{T: obs.T, Meas: obs.Measured, Actual: obs.Cap})
+	fanProposal := obs.FanCmd
+	fanDecided := false
+	if boosted {
+		if ho, ok := d.fan.(interface {
+			ObserveHold(units.Celsius)
+		}); ok {
+			ho.ObserveHold(obs.Measured)
+		}
+	} else if d.fanTick(obs.T) {
+		fanProposal = d.fan.Decide(control.FanInputs{T: obs.T, Meas: obs.Measured, Actual: obs.FanCmd})
+		d.lastFan = obs.T
+		d.fanEver = true
+		fanDecided = true
+	}
+
+	// The fan's standing direction: the direction of its most recent
+	// decision, persisting until the next one. The fan needs N_trans^fan
+	// periods to act on a thermal event (Sec. V-C); while it is working
+	// in a direction, the Table II rules weigh the cap proposal against
+	// that standing intent, not just against an instantaneous snapshot.
+	if boosted {
+		d.standingFanDir = coord.Up
+	} else if fanDecided {
+		d.standingFanDir = coord.Classify(float64(fanProposal), float64(obs.FanCmd), 25)
+	}
+	fanDir := d.standingFanDir
+
+	cutAllowed := !d.everCut || obs.T-d.lastCut >= d.opt.CoordEpoch-1e-9
+
+	cmd := sim.Command{Fan: obs.FanCmd, Cap: obs.Cap}
+	switch d.opt.Mode {
+	case NoCoordination:
+		cmd.Fan = fanProposal
+		cmd.Cap = capProposal
+	case RuleBased:
+		capDir := coord.Classify(float64(capProposal), float64(obs.Cap), 1e-9)
+		switch coord.Rule(capDir, fanDir) {
+		case coord.ApplyFan:
+			// The fan owns the response: apply its proposal when fresh;
+			// on intermediate ticks the previous command keeps acting
+			// (N_trans^fan periods of ramp) and the cap holds.
+			if fanDecided {
+				cmd.Fan = fanProposal
+			}
+		case coord.ApplyCap:
+			if capDir == coord.Up {
+				cmd.Cap = capProposal // performance recovery passes freely
+			} else if cutAllowed {
+				cmd.Cap = capProposal
+				d.lastCut = obs.T
+				d.everCut = true
+			}
+		}
+	case EnergyAware:
+		switch {
+		case obs.Measured > d.opt.Emergency:
+			dec := d.ecoord.Decide(coord.EState{
+				Measured: obs.Measured,
+				Fan:      obs.FanCmd,
+				FanMin:   d.opt.Config.FanMinSpeed,
+				FanMax:   d.opt.Config.FanMaxSpeed,
+				Cap:      obs.Cap,
+				Util:     obs.Delivered,
+			})
+			switch dec.Action {
+			case coord.ApplyCap:
+				cmd.Cap = dec.Cap
+			case coord.ApplyFan:
+				cmd.Fan = dec.Fan
+			}
+		case obs.Measured < d.opt.CapLow:
+			// Cold: restore performance, but lazily — every release
+			// step costs energy, so the greedy scheme takes at most one
+			// per fan interval (the paper's critique: performance is
+			// E-coord's last priority).
+			if capProposal > obs.Cap && obs.T-d.lastRelease >= d.opt.FanInterval-1e-9 {
+				cmd.Cap = capProposal
+				d.lastRelease = obs.T
+			}
+			cmd.Fan = fanProposal
+		default:
+			cmd.Fan = fanProposal
+		}
+	}
+
+	if boosted {
+		cmd.Fan = d.opt.Config.FanMaxSpeed
+	} else if releasing {
+		// Boost release (Sec. V-C): drop directly to the lowest speed
+		// that runs the current demand without a temperature violation,
+		// rather than descending over several fan periods at cubic cost.
+		cmd.Fan = d.releaseSpeed(obs)
+		d.adaptive.ResetIntegral()
+		d.lastFan = obs.T
+		d.fanEver = true
+	}
+	return cmd
+}
+
+// releaseSpeed computes the post-boost fan speed: the steady-state speed
+// holding the fan set-point at the sustained demand, clamped to the
+// platform range. The sustained demand is the set-point predictor's
+// moving average when available — releasing against one noisy
+// instantaneous sample re-triggers the boost the moment demand recovers.
+// Falls back to the current command on infeasible targets (the PID
+// recovers from there).
+func (d *DTM) releaseSpeed(obs sim.Observation) units.RPM {
+	demand := obs.Demand
+	if d.setpoint != nil {
+		// Invert the scheduler: its reference encodes the predicted
+		// utilization, T_ref = lo + (hi-lo)*û.
+		uhat := float64(d.setpoint.Current()-d.setpoint.Lo) / float64(d.setpoint.Hi-d.setpoint.Lo)
+		demand = units.ClampUtil(units.Utilization(uhat))
+		if obs.Demand > demand {
+			demand = obs.Demand
+		}
+	}
+	cpu, _, err := d.opt.Config.Models()
+	if err != nil {
+		return obs.FanCmd
+	}
+	tp, err := d.opt.Config.ThermalModel()
+	if err != nil {
+		return obs.FanCmd
+	}
+	v, err := tp.SpeedForJunction(d.fan.Reference(), cpu.Power(demand))
+	if err != nil {
+		return d.opt.Config.FanMaxSpeed
+	}
+	return units.ClampRPM(v, d.opt.Config.FanMinSpeed, d.opt.Config.FanMaxSpeed)
+}
+
+// Reference returns the fan controller's current set-point (tests and
+// traces read it).
+func (d *DTM) Reference() units.Celsius { return d.fan.Reference() }
+
+// Boosted reports whether the single-step scaler is currently active.
+func (d *DTM) Boosted() bool { return d.scaler != nil && d.scaler.Boosted() }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/tuning"
+	"repro/internal/units"
+)
+
+// DefaultFanInterval is Δt_fan^control from Sec. VI-A.
+const DefaultFanInterval units.Seconds = 30
+
+// DefaultRegions returns the gain schedule shipped with the library: the
+// two operating regions of Sec. IV-B (2000 and 6000 rpm — "two regions
+// are enough to linearize the relationship within 5% error"), tuned by
+// the Ziegler–Nichols procedure of TuneRegions against the Table I
+// platform at u = 0.7 with the no-overshoot ZN-type rule (see DESIGN.md
+// for why the quarter-decay classic rule is too aggressive at a 30 s
+// control period). Regenerate with cmd/fantune.
+func DefaultRegions() []control.Region {
+	return defaultRegions
+}
+
+// defaultRegions is overwritten by the values cmd/fantune prints; keep in
+// sync with EXPERIMENTS.md.
+var defaultRegions = []control.Region{
+	{RefSpeed: 2000, Gains: control.PIDGains{KP: 259, KI: 66, KD: 676}},
+	{RefSpeed: 6000, Gains: control.PIDGains{KP: 738, KI: 279, KD: 1304}},
+}
+
+// TuneResult reports one region's tuning experiment.
+type TuneResult struct {
+	Region   control.Region
+	Ultimate tuning.Ultimate
+	RefTemp  units.Celsius // equilibrium temperature used as the set-point
+}
+
+// TuneRegions runs the closed-loop Ziegler–Nichols procedure of Sec. IV-A
+// at each operating fan speed against the full simulated platform
+// (including the non-ideal measurement chain) and returns the gain
+// schedule. The set-point of each experiment is the plant's own
+// steady-state junction temperature at (util, speed), so the warm start
+// is an equilibrium and the pulse perturbation explores its neighborhood.
+func TuneRegions(cfg sim.Config, speeds []units.RPM, util units.Utilization,
+	fanPeriod units.Seconds, rule tuning.Rule) ([]TuneResult, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("core: no operating speeds")
+	}
+	cpu, _, err := cfg.Models()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TuneResult, 0, len(speeds))
+	for _, v := range speeds {
+		p := cpu.Power(util)
+		sink := thermal.SteadyState(cfg.Ambient, cfg.HeatSinkLaw.Resistance(v), p)
+		ref := thermal.SteadyState(sink, cfg.DieRes, p)
+
+		plant, err := sim.NewPlant(cfg, util, v, fanPeriod)
+		if err != nil {
+			return nil, err
+		}
+		// Bracket the ultimate gain from the plant's local sensitivity:
+		// |dT/ds| at the operating point gives the static loop gain; the
+		// discrete boundary sits within a decade of its inverse.
+		sens := cfg.HeatSinkLaw.Sensitivity(v, p)
+		if sens >= 0 {
+			return nil, fmt.Errorf("core: non-negative plant sensitivity at %v", v)
+		}
+		kuEstimate := 1 / -sens
+		znCfg := tuning.ZNConfig{
+			RefTemp:  ref,
+			RefSpeed: v,
+			Limits:   control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed},
+			KPLo:     kuEstimate / 30,
+			KPHi:     kuEstimate * 10,
+			// The 1 °C ADC makes sub-degree ripple invisible; classify
+			// with a prominence just above one quantization step.
+			Prominence: 1.2,
+		}
+		region, ult, err := tuning.TuneRegion(plant, znCfg, rule)
+		if err != nil {
+			return nil, fmt.Errorf("core: tuning at %v: %w", v, err)
+		}
+		out = append(out, TuneResult{Region: region, Ultimate: ult, RefTemp: ref})
+	}
+	return out, nil
+}
+
+// SetDefaultRegionsForTest swaps the shipped gain schedule and returns the
+// previous one; experiment tests use it to evaluate tuning-rule ablations.
+func SetDefaultRegionsForTest(rs []control.Region) []control.Region {
+	old := defaultRegions
+	defaultRegions = rs
+	return old
+}

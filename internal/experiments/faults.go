@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// FaultResult reports the robustness experiment: the full DTM stack
+// running through a telemetry fault (a stuck sensor for StuckLen seconds
+// in the middle of the run, plus a sustained dropout rate) versus a clean
+// run of the same scenario.
+type FaultResult struct {
+	Clean   sim.Metrics
+	Faulted sim.Metrics
+}
+
+// FaultConfig parameterizes the fault-injection run.
+type FaultConfig struct {
+	Duration    units.Seconds
+	StuckAt     units.Seconds
+	StuckLen    units.Seconds
+	DropoutRate float64
+	Seed        int64
+}
+
+// DefaultFaults returns the standard robustness scenario: a 2-minute
+// stuck sensor at mid-run plus 10% sample dropout, over an hour.
+func DefaultFaults() FaultConfig {
+	return FaultConfig{Duration: 3600, StuckAt: 1800, StuckLen: 120, DropoutRate: 0.1, Seed: 5}
+}
+
+// Faults runs the robustness experiment.
+func Faults(fc FaultConfig) (*FaultResult, error) {
+	if fc.Duration <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive duration %v", fc.Duration)
+	}
+	run := func(inject bool) (sim.Metrics, error) {
+		cfg := DefaultConfig()
+		cfg.Ambient = 30
+		server, err := sim.NewPhysicalServer(cfg)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		if inject {
+			stuck, err := sensor.NewStuckAt(fc.StuckAt, fc.StuckAt+fc.StuckLen)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			drop, err := sensor.NewDropout(fc.DropoutRate, fc.Seed)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			base, err := sensor.New(cfg.Sensor)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			// Faults sit on the firmware side of the chain: the clean
+			// physical chain feeds a wedged/congested transport.
+			if err := server.ReplaceSensor(sensor.NewPipeline(base, drop, stuck)); err != nil {
+				return sim.Metrics{}, err
+			}
+		}
+		pol, err := core.NewFullStack(cfg)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Tick, fc.Seed)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		res, err := sim.Run(server, sim.RunConfig{
+			Duration:  fc.Duration,
+			Workload:  noisy,
+			Policy:    pol,
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1500},
+		})
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}
+	clean, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultResult{Clean: clean, Faulted: faulted}, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"repro/internal/sensor"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig1Result reproduces Fig. 1: a CPU-utilization step and the power-
+// sensor reading that follows it through the I2C telemetry path, both
+// normalized, demonstrating the ~10 s measurement lag.
+type Fig1Result struct {
+	Traces      *trace.Set
+	MeasuredLag units.Seconds // time for the sensor to cross 50% of the step
+	NominalLag  units.Seconds // the configured transport delay
+}
+
+// Fig1Config parameterizes the telemetry-lag demonstration.
+type Fig1Config struct {
+	StepTime units.Seconds // utilization step instant (paper trace: mid-run)
+	Duration units.Seconds // horizon (paper plot: 700 s)
+	Bus      sensor.Bus    // contention model producing the lag
+}
+
+// DefaultFig1 returns the paper's setting: a 16-sensor bus (10 s lag)
+// over a 700 s window.
+func DefaultFig1() Fig1Config {
+	return Fig1Config{StepTime: 100, Duration: 700, Bus: sensor.DefaultBus()}
+}
+
+// Fig1 runs the telemetry-lag experiment.
+func Fig1(fc Fig1Config) (*Fig1Result, error) {
+	cfg := DefaultConfig()
+	cpu, _, err := cfg.Models()
+	if err != nil {
+		return nil, err
+	}
+	if err := fc.Bus.Validate(); err != nil {
+		return nil, err
+	}
+
+	step := workload.Step{Before: 0.1, After: 0.7, Time: fc.StepTime}
+	idlePower := float64(cpu.Power(0.1))
+	span := float64(cpu.Power(0.7)) - idlePower
+
+	delay, err := fc.Bus.DelayLine(idlePower)
+	if err != nil {
+		return nil, err
+	}
+	// The power sensor digitizes through the same 8-bit acquisition path.
+	quant, err := sensor.NewQuantizer(8, 0, 255)
+	if err != nil {
+		return nil, err
+	}
+	pipe := sensor.NewPipeline(quant, delay)
+
+	ts := trace.NewSet()
+	sUtil := trace.NewSeries("cpu_utilization")
+	sSensor := trace.NewSeries("power_sensor")
+	ts.Add(sUtil)
+	ts.Add(sSensor)
+
+	nTicks := int(float64(fc.Duration) / float64(cfg.Tick))
+	for k := 0; k < nTicks; k++ {
+		t := units.Seconds(float64(k) * float64(cfg.Tick))
+		u := step.At(t)
+		p := float64(cpu.Power(u))
+		meas := pipe.Sample(t, p)
+		// Normalize both series to [0, 1] like the paper's plot.
+		sUtil.MustAppend(float64(t), (float64(cpu.Power(u))-idlePower)/span)
+		sSensor.MustAppend(float64(t), (meas-idlePower)/span)
+	}
+
+	// Measured lag: the half-rise crossing of the sensor trace relative
+	// to the step instant.
+	lag := units.Seconds(0)
+	if xs := sSensor.Crossings(0.5); len(xs) > 0 {
+		lag = units.Seconds(xs[0]) - fc.StepTime
+	}
+	return &Fig1Result{
+		Traces:      ts,
+		MeasuredLag: lag,
+		NominalLag:  fc.Bus.Lag(),
+	}, nil
+}

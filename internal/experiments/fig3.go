@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig3Variant identifies one of the three compared fan controllers.
+type Fig3Variant string
+
+// The Fig. 3 controller variants.
+const (
+	Fixed2000 Fig3Variant = "pid@2000rpm"
+	Fixed6000 Fig3Variant = "pid@6000rpm"
+	Adaptive  Fig3Variant = "adaptive-pid"
+)
+
+// Fig3Run is one controller's trace and stability summary.
+type Fig3Run struct {
+	Variant Fig3Variant
+	Traces  *trace.Set
+	// SettleAfterStep is the junction settling time (into RefTemp ± 1.5)
+	// measured from the low-to-high workload step; Settled is false when
+	// the loop never settles within the phase (the paper's "very slow
+	// convergence" case).
+	SettleAfterStep units.Seconds
+	Settled         bool
+	// LowPhaseAmp is the fan-speed oscillation amplitude in the late low
+	// phase (rpm) — the paper's "unstable especially at the lower fan
+	// speed range" shows here.
+	LowPhaseAmp float64
+	// HighPhaseAmp is the oscillation amplitude in the late high phase.
+	HighPhaseAmp float64
+}
+
+// Fig3Result bundles the three runs.
+type Fig3Result struct {
+	RefTemp units.Celsius
+	Runs    []Fig3Run
+}
+
+// Fig3Config parameterizes the adaptive-vs-fixed-gain comparison.
+type Fig3Config struct {
+	RefTemp units.Celsius // fan set-point; 68 °C spans both gain regions
+	Period  units.Seconds // square-wave period (low phase first)
+	Cycles  int           // number of full periods to simulate
+}
+
+// DefaultFig3 returns the calibrated scenario: T_ref = 68 °C puts the
+// 0.1/0.7 workload's operating fan speeds at ~1460 and ~5820 rpm, one in
+// each gain-scheduling region, so the fixed-gain failure modes and the
+// adaptive controller's advantage all appear (see DESIGN.md §5).
+func DefaultFig3() Fig3Config {
+	return Fig3Config{RefTemp: 68, Period: 1200, Cycles: 2}
+}
+
+// Fig3 runs the three-controller comparison.
+func Fig3(fc Fig3Config) (*Fig3Result, error) {
+	if fc.Cycles < 1 {
+		return nil, fmt.Errorf("experiments: fig3 needs at least one cycle")
+	}
+	cfg := DefaultConfig()
+	regions := core.DefaultRegions()
+	lim := control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed}
+
+	build := func(v Fig3Variant) (control.FanController, error) {
+		var inner control.FanController
+		switch v {
+		case Fixed2000:
+			p, err := control.NewPID(control.PIDConfig{
+				Gains: regions[0].Gains, RefSpeed: regions[0].RefSpeed,
+				RefTemp: fc.RefTemp, Limits: lim, SlewFrac: 0.6, SlewFloor: 400,
+			})
+			if err != nil {
+				return nil, err
+			}
+			inner = p
+		case Fixed6000:
+			p, err := control.NewPID(control.PIDConfig{
+				Gains: regions[1].Gains, RefSpeed: regions[1].RefSpeed,
+				RefTemp: fc.RefTemp, Limits: lim, SlewFrac: 0.6, SlewFloor: 400,
+			})
+			if err != nil {
+				return nil, err
+			}
+			inner = p
+		case Adaptive:
+			a, err := control.NewAdaptivePID(regions, fc.RefTemp, lim)
+			if err != nil {
+				return nil, err
+			}
+			a.SetSlewFrac(0.6, 400)
+			inner = a
+		default:
+			return nil, fmt.Errorf("experiments: unknown variant %q", v)
+		}
+		return control.NewQuantGuard(inner, 1)
+	}
+
+	result := &Fig3Result{RefTemp: fc.RefTemp}
+	for _, v := range []Fig3Variant{Fixed2000, Fixed6000, Adaptive} {
+		fan, err := build(v)
+		if err != nil {
+			return nil, err
+		}
+		server, err := newServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := core.NewFanOnlyPolicy(string(v), fan, core.DefaultFanInterval, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(server, sim.RunConfig{
+			Duration:  units.Seconds(float64(fc.Period) * float64(fc.Cycles)),
+			Workload:  workload.PaperSquare(fc.Period),
+			Policy:    pol,
+			Record:    true,
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		})
+		if err != nil {
+			return nil, err
+		}
+		run := Fig3Run{Variant: v, Traces: res.Traces}
+
+		half := float64(fc.Period) / 2
+		junc := res.Traces.Get("junction")
+		stepAt := half // low-to-high transition of the first period
+		window := junc.Window(stepAt+5, float64(fc.Period)-10)
+		if st, ok := window.SettlingTime(float64(fc.RefTemp), 1.5); ok {
+			run.SettleAfterStep = units.Seconds(st - stepAt)
+			run.Settled = true
+		}
+
+		fan2 := res.Traces.Get("fan_cmd")
+		lowWin := fan2.Window(float64(fc.Period)+half/2, float64(fc.Period)+half-10)
+		run.LowPhaseAmp = stats.PeakAmplitude(stats.FindPeaks(lowWin.Values(), 200))
+		hiWin := fan2.Window(float64(fc.Period)+half+half/2, 2*float64(fc.Period)-10)
+		run.HighPhaseAmp = stats.PeakAmplitude(stats.FindPeaks(hiWin.Values(), 200))
+
+		result.Runs = append(result.Runs, run)
+	}
+	return result, nil
+}

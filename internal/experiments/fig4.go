@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tuning"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig4Result reproduces Fig. 4: a deadzone fan controller under a fixed
+// workload oscillates indefinitely because of the measurement lag and
+// quantization.
+type Fig4Result struct {
+	Traces      *trace.Set
+	Oscillation tuning.Oscillation // classification of the fan-speed trace
+	// AmplitudeRPM and PeriodSeconds describe the limit cycle.
+	AmplitudeRPM  float64
+	PeriodSeconds float64
+}
+
+// Fig4Config parameterizes the deadzone-oscillation demonstration.
+type Fig4Config struct {
+	Util     units.Utilization // fixed workload (paper: "a stable workload")
+	BandLow  units.Celsius
+	BandHigh units.Celsius
+	Step     units.RPM // deadzone speed increment
+	Duration units.Seconds
+}
+
+// DefaultFig4 returns the calibrated scenario: u = 0.6 with a ±0.1 °C
+// deadzone and 500 rpm steps. The band is deliberately narrower than the
+// ADC's 1 °C quantization step — a sub-degree comfort band is a natural
+// design choice, but the converter cannot resolve it, so every reading
+// falls outside the band and the controller ratchets up and down forever:
+// the paper's measured Fig. 4 limit cycle.
+func DefaultFig4() Fig4Config {
+	return Fig4Config{Util: 0.6, BandLow: 74.4, BandHigh: 74.6, Step: 500, Duration: 1800}
+}
+
+// Fig4 runs the deadzone-oscillation experiment.
+func Fig4(fc Fig4Config) (*Fig4Result, error) {
+	cfg := DefaultConfig()
+	lim := control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed}
+	dz, err := control.NewDeadzone(fc.BandLow, fc.BandHigh, fc.Step, lim)
+	if err != nil {
+		return nil, err
+	}
+	server, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := core.NewFanOnlyPolicy("deadzone", dz, core.DefaultFanInterval, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(server, sim.RunConfig{
+		Duration:  fc.Duration,
+		Workload:  workload.Constant{U: fc.Util},
+		Policy:    pol,
+		Record:    true,
+		WarmStart: &sim.WarmPoint{Util: fc.Util, Fan: 2500},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fan := res.Traces.Get("fan_cmd")
+	// Skip the first fan period of transient before classifying.
+	vals := fan.Window(60, float64(fc.Duration)).Values()
+	osc := tuning.Classify(vals, 250, 0.5)
+	return &Fig4Result{
+		Traces:        res.Traces,
+		Oscillation:   osc,
+		AmplitudeRPM:  osc.Amplitude,
+		PeriodSeconds: osc.Period, // fan trace sampled at 1 s per tick
+	}, nil
+}

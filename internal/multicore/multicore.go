@@ -1,0 +1,270 @@
+// Package multicore extends the paper's single-socket model to the
+// N-core system its Sec. III-A describes ("a server consisting of N_core
+// cores") without the balanced-workload simplification: each core has its
+// own RC node on the shared heat sink (general network of [18]), its own
+// 8-bit/10 s measurement chain, and its own utilization share. On top of
+// it sits the *third* local controller of the paper's introduction — the
+// temperature-aware workload scheduler of the OS ([13], [14]) — whose
+// interaction with the fan controller and the CPU capper is exactly the
+// "two or all three of these local controllers active simultaneously"
+// scenario the paper warns about.
+package multicore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// Config parameterizes the multi-core platform. It reuses the single-
+// socket sim.Config for everything shared (fan, sink, sensing, power per
+// socket) and adds the core-level structure.
+type Config struct {
+	Base sim.Config
+	// NCore is the number of cores (paper: N_core).
+	NCore int
+	// CoreRes is the per-core junction-to-sink resistance. With N cores
+	// in parallel the effective die resistance is CoreRes / NCore; the
+	// default scales the single-socket DieRes so a balanced load matches
+	// the two-node model.
+	CoreRes units.KPerW
+	// LateralRes couples ring neighbours (silicon spreading). Zero
+	// disables lateral coupling.
+	LateralRes units.KPerW
+}
+
+// DefaultConfig returns a four-core platform equivalent, under balanced
+// load, to the Table I single-socket model.
+func DefaultConfig() Config {
+	base := sim.Default()
+	return Config{
+		Base:       base,
+		NCore:      4,
+		CoreRes:    base.DieRes * 4, // 4 in parallel = DieRes
+		LateralRes: 1.5,
+	}
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.NCore < 1 {
+		return fmt.Errorf("multicore: %d cores", c.NCore)
+	}
+	if c.CoreRes <= 0 {
+		return fmt.Errorf("multicore: non-positive core resistance %v", c.CoreRes)
+	}
+	if c.LateralRes < 0 {
+		return fmt.Errorf("multicore: negative lateral resistance %v", c.LateralRes)
+	}
+	return nil
+}
+
+// Server is the N-core platform: a thermal network of NCore die nodes on
+// one heat-sink node, per-core measurement pipelines, one shared fan.
+type Server struct {
+	cfg     Config
+	net     *thermal.Network
+	cpu     power.CPUModel
+	fan     power.FanModel
+	pipes   []*sensor.Pipeline
+	sinkIdx int
+	fanCmd  units.RPM
+	fanAct  units.RPM
+	clock   units.Seconds
+	started bool
+}
+
+// NewServer builds the platform with all nodes at ambient and the fan at
+// its floor.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NCore
+	net, err := thermal.NewNetwork(n+1, cfg.Base.Ambient)
+	if err != nil {
+		return nil, err
+	}
+	sinkIdx := n
+	net.SetName(sinkIdx, "sink")
+	sinkCap, err := thermal.CapacitanceFor(cfg.Base.SinkTau, cfg.Base.HeatSinkLaw.Resistance(cfg.Base.FanMaxSpeed))
+	if err != nil {
+		return nil, err
+	}
+	if err := net.SetCapacitance(sinkIdx, sinkCap); err != nil {
+		return nil, err
+	}
+	// Sink-to-ambient resistance is fan-speed dependent; set per tick.
+	if err := net.ConnectAmbient(sinkIdx, cfg.Base.HeatSinkLaw.Resistance(cfg.Base.FanMinSpeed)); err != nil {
+		return nil, err
+	}
+	// Per-core nodes: the core time constant matches the single-socket
+	// die (DieTau) at the per-core resistance.
+	coreCap, err := thermal.CapacitanceFor(cfg.Base.DieTau, cfg.CoreRes)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < n; c++ {
+		net.SetName(c, fmt.Sprintf("core%d", c))
+		if err := net.SetCapacitance(c, coreCap); err != nil {
+			return nil, err
+		}
+		if err := net.Connect(c, sinkIdx, cfg.CoreRes); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.LateralRes > 0 && n > 2 {
+		for c := 0; c < n; c++ {
+			if err := net.Connect(c, (c+1)%n, cfg.LateralRes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.LateralRes > 0 && n == 2 {
+		if err := net.Connect(0, 1, cfg.LateralRes); err != nil {
+			return nil, err
+		}
+	}
+
+	cpu, fanModel, err := cfg.Base.Models()
+	if err != nil {
+		return nil, err
+	}
+	pipes := make([]*sensor.Pipeline, n)
+	for c := 0; c < n; c++ {
+		sc := cfg.Base.Sensor
+		sc.NoiseSeed += int64(c) // decorrelate per-core transducer noise
+		p, err := sensor.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		pipes[c] = p
+	}
+	return &Server{
+		cfg:     cfg,
+		net:     net,
+		cpu:     cpu,
+		fan:     fanModel,
+		pipes:   pipes,
+		sinkIdx: sinkIdx,
+		fanCmd:  cfg.Base.FanMinSpeed,
+		fanAct:  cfg.Base.FanMinSpeed,
+	}, nil
+}
+
+// NCore returns the number of cores.
+func (s *Server) NCore() int { return s.cfg.NCore }
+
+// CommandFan sets the shared fan command, clamped to the platform range.
+func (s *Server) CommandFan(v units.RPM) {
+	s.fanCmd = units.ClampRPM(v, s.cfg.Base.FanMinSpeed, s.cfg.Base.FanMaxSpeed)
+}
+
+// FanActual returns the slewed physical fan speed.
+func (s *Server) FanActual() units.RPM { return s.fanAct }
+
+// CoreJunction returns core c's true temperature.
+func (s *Server) CoreJunction(c int) units.Celsius { return s.net.Temperature(c) }
+
+// TickResult reports one multi-core engine step.
+type TickResult struct {
+	T         units.Seconds
+	Junctions []units.Celsius // true per-core temperatures
+	Measured  []units.Celsius // DTM-visible per-core temperatures
+	MaxJunc   units.Celsius
+	MaxMeas   units.Celsius
+	FanActual units.RPM
+	CPUPower  units.Watt
+	FanPower  units.Watt
+}
+
+// Tick advances the platform by one base tick under the given per-core
+// delivered utilizations (len must equal NCore; each in [0, 1] as a
+// fraction of the core's share of the socket's dynamic power).
+func (s *Server) Tick(coreUtil []units.Utilization) (TickResult, error) {
+	if len(coreUtil) != s.cfg.NCore {
+		return TickResult{}, fmt.Errorf("multicore: %d utilizations for %d cores", len(coreUtil), s.cfg.NCore)
+	}
+	dt := s.cfg.Base.Tick
+	if s.started {
+		s.clock += dt
+	}
+	s.started = true
+
+	// Fan slew.
+	maxStep := units.RPM(float64(s.cfg.Base.FanSlewPerSec) * float64(dt))
+	switch d := s.fanCmd - s.fanAct; {
+	case d > maxStep:
+		s.fanAct += maxStep
+	case d < -maxStep:
+		s.fanAct -= maxStep
+	default:
+		s.fanAct = s.fanCmd
+	}
+	// Update the fan-speed-dependent sink resistance, then step.
+	if err := s.net.ConnectAmbient(s.sinkIdx, s.cfg.Base.HeatSinkLaw.Resistance(s.fanAct)); err != nil {
+		return TickResult{}, err
+	}
+
+	// Power split: the socket's static power spreads evenly; each core
+	// adds its share of the dynamic power.
+	n := float64(s.cfg.NCore)
+	staticPer := s.cfg.Base.CPUIdlePower / units.Watt(n)
+	dynSpan := (s.cfg.Base.CPUMaxPower - s.cfg.Base.CPUIdlePower) / units.Watt(n)
+	var totalCPU units.Watt
+	for c, u := range coreUtil {
+		u = units.ClampUtil(u)
+		p := staticPer + units.Watt(float64(dynSpan)*float64(u))
+		s.net.SetLoad(c, p)
+		totalCPU += p
+	}
+	if err := s.net.Step(dt); err != nil {
+		return TickResult{}, err
+	}
+
+	res := TickResult{
+		T:         s.clock,
+		Junctions: make([]units.Celsius, s.cfg.NCore),
+		Measured:  make([]units.Celsius, s.cfg.NCore),
+		FanActual: s.fanAct,
+		CPUPower:  totalCPU,
+		FanPower:  s.fan.Power(s.fanAct),
+		MaxJunc:   units.Celsius(math.Inf(-1)),
+		MaxMeas:   units.Celsius(math.Inf(-1)),
+	}
+	for c := 0; c < s.cfg.NCore; c++ {
+		j := s.net.Temperature(c)
+		m := units.Celsius(s.pipes[c].Sample(s.clock, float64(j)))
+		res.Junctions[c] = j
+		res.Measured[c] = m
+		if j > res.MaxJunc {
+			res.MaxJunc = j
+		}
+		if m > res.MaxMeas {
+			res.MaxMeas = m
+		}
+	}
+	return res, nil
+}
+
+// Reset returns the platform to ambient with the fan at its floor.
+func (s *Server) Reset() {
+	for i := 0; i <= s.cfg.NCore; i++ {
+		s.net.SetTemperature(i, s.cfg.Base.Ambient)
+	}
+	for _, p := range s.pipes {
+		p.Reset()
+	}
+	s.fanCmd = s.cfg.Base.FanMinSpeed
+	s.fanAct = s.cfg.Base.FanMinSpeed
+	s.clock = 0
+	s.started = false
+}

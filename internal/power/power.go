@@ -1,0 +1,141 @@
+// Package power implements the server power models of the paper
+// (Sec. III-B, Table I): a utilization-linear CPU model (Eq. 1), the cubic
+// fan-power law, and energy accounting over a simulation run.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// CPUModel is the linear CPU power model of Eq. 1:
+// P_cpu = P_static + P_dyn * u, with u the CPU utilization in [0, 1].
+type CPUModel struct {
+	Static  units.Watt // idle (static) power, Table I: 96 W
+	Dynamic units.Watt // maximum dynamic power: P_max - P_idle = 64 W
+}
+
+// NewCPUModel builds a CPUModel from the Table I quantities: idle power
+// (u = 0) and maximum power (u = 1). It returns an error when max < idle or
+// either is negative.
+func NewCPUModel(idle, max units.Watt) (CPUModel, error) {
+	if idle < 0 || max < 0 {
+		return CPUModel{}, fmt.Errorf("power: negative CPU power (idle %v, max %v)", idle, max)
+	}
+	if max < idle {
+		return CPUModel{}, fmt.Errorf("power: max power %v below idle %v", max, idle)
+	}
+	return CPUModel{Static: idle, Dynamic: max - idle}, nil
+}
+
+// Power returns the CPU power at utilization u, clamped to [0, 1].
+func (m CPUModel) Power(u units.Utilization) units.Watt {
+	u = units.ClampUtil(u)
+	return m.Static + units.Watt(float64(m.Dynamic)*float64(u))
+}
+
+// Max returns the power at full utilization.
+func (m CPUModel) Max() units.Watt { return m.Static + m.Dynamic }
+
+// UtilizationFor inverts the model: the utilization that draws power p,
+// clamped to [0, 1]. A zero-dynamic model returns 0.
+func (m CPUModel) UtilizationFor(p units.Watt) units.Utilization {
+	if m.Dynamic == 0 {
+		return 0
+	}
+	return units.ClampUtil(units.Utilization((p - m.Static) / m.Dynamic))
+}
+
+// FanModel is the cubic fan power law P_fan = P_max * (s / s_max)^3
+// (Sec. I: P_fan ∝ s_fan^3), parameterized by the Table I values
+// 29.4 W at 8500 rpm.
+type FanModel struct {
+	MaxPower units.Watt // power at maximum speed, Table I: 29.4 W
+	MaxSpeed units.RPM  // maximum speed, Table I: 8500 rpm
+}
+
+// NewFanModel validates and builds a FanModel.
+func NewFanModel(maxPower units.Watt, maxSpeed units.RPM) (FanModel, error) {
+	if maxPower < 0 {
+		return FanModel{}, fmt.Errorf("power: negative fan power %v", maxPower)
+	}
+	if maxSpeed <= 0 {
+		return FanModel{}, fmt.Errorf("power: non-positive max fan speed %v", maxSpeed)
+	}
+	return FanModel{MaxPower: maxPower, MaxSpeed: maxSpeed}, nil
+}
+
+// Power returns the fan power at speed s. Speeds are clamped to
+// [0, MaxSpeed].
+func (m FanModel) Power(s units.RPM) units.Watt {
+	frac := units.Clamp(float64(s)/float64(m.MaxSpeed), 0, 1)
+	return units.Watt(float64(m.MaxPower) * frac * frac * frac)
+}
+
+// SpeedFor inverts the cubic law: the speed that draws power p, clamped to
+// [0, MaxSpeed].
+func (m FanModel) SpeedFor(p units.Watt) units.RPM {
+	if m.MaxPower == 0 {
+		return 0
+	}
+	frac := units.Clamp(float64(p)/float64(m.MaxPower), 0, 1)
+	return units.RPM(float64(m.MaxSpeed) * math.Cbrt(frac))
+}
+
+// Budget aggregates CPU and fan power into the server total of Sec. III-B:
+// P_tot = P_cpu + P_fan, for a server with NSockets identical sockets each
+// carrying one fan.
+type Budget struct {
+	CPU      CPUModel
+	Fan      FanModel
+	NSockets int
+}
+
+// Total returns the server power at the given utilization and fan speed.
+// All sockets run the same workload and fan speed (the paper's balanced
+// assumption).
+func (b Budget) Total(u units.Utilization, s units.RPM) units.Watt {
+	n := b.NSockets
+	if n < 1 {
+		n = 1
+	}
+	return units.Watt(float64(n)) * (b.CPU.Power(u) + b.Fan.Power(s))
+}
+
+// Accumulator integrates power into energy with left-rectangle steps, the
+// natural scheme for a fixed-step simulator where power is piecewise
+// constant over a step.
+type Accumulator struct {
+	total units.Joule
+	time  units.Seconds
+}
+
+// Add accrues power p held for duration dt. Negative dt panics: simulated
+// time never flows backward.
+func (a *Accumulator) Add(p units.Watt, dt units.Seconds) {
+	if dt < 0 {
+		panic(fmt.Sprintf("power: negative duration %v", dt))
+	}
+	a.total += units.Joule(float64(p) * float64(dt))
+	a.time += dt
+}
+
+// Total returns the accumulated energy.
+func (a *Accumulator) Total() units.Joule { return a.total }
+
+// Duration returns the accumulated time.
+func (a *Accumulator) Duration() units.Seconds { return a.time }
+
+// MeanPower returns the average power over the accumulated duration, or 0
+// if nothing has been accumulated.
+func (a *Accumulator) MeanPower() units.Watt {
+	if a.time == 0 {
+		return 0
+	}
+	return units.Watt(float64(a.total) / float64(a.time))
+}
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { a.total, a.time = 0, 0 }

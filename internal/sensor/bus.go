@@ -1,0 +1,63 @@
+package sensor
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Bus models I2C bandwidth contention among temperature sensors sharing
+// the management bus (Sec. I: the 10 s lag "is due to the limited bandwidth
+// of [the] I2C bus", and "due to the increased number of temperature
+// sensors in each new server platform, the time lag from bandwidth
+// contention becomes even worse in newer generation servers").
+//
+// The model: the bus serves sensors round-robin; each full scan of all N
+// sensors takes N * TransferTime, plus a fixed firmware base latency. A
+// sample is visible only after its sensor's slot in the scan completes, so
+// the effective per-sensor lag is
+//
+//	Lag(N) = BaseLatency + N * TransferTime.
+//
+// With the defaults below, a 16-sensor platform reproduces the paper's
+// ~10 s end-to-end lag, and doubling the sensor count visibly worsens it.
+type Bus struct {
+	BaseLatency  units.Seconds // firmware + scheduling overhead
+	TransferTime units.Seconds // per-sensor transaction time on the bus
+	NSensors     int           // sensors sharing the bus
+}
+
+// DefaultBus returns contention parameters calibrated so that a 16-sensor
+// platform (typical of the paper's server generation) sees a 10 s lag:
+// 2 s base + 16 * 0.5 s = 10 s.
+func DefaultBus() Bus {
+	return Bus{BaseLatency: 2, TransferTime: 0.5, NSensors: 16}
+}
+
+// Validate reports the first invalid field, or nil.
+func (b Bus) Validate() error {
+	if b.BaseLatency < 0 {
+		return fmt.Errorf("sensor: negative base latency %v", b.BaseLatency)
+	}
+	if b.TransferTime < 0 {
+		return fmt.Errorf("sensor: negative transfer time %v", b.TransferTime)
+	}
+	if b.NSensors < 1 {
+		return fmt.Errorf("sensor: %d sensors on bus", b.NSensors)
+	}
+	return nil
+}
+
+// Lag returns the effective telemetry dead time for one sensor.
+func (b Bus) Lag() units.Seconds {
+	return b.BaseLatency + units.Seconds(float64(b.NSensors))*b.TransferTime
+}
+
+// DelayLine builds the transport delay stage corresponding to this bus
+// occupancy, reporting initial before the first scan completes.
+func (b Bus) DelayLine(initial float64) (*DelayLine, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return NewDelayLine(b.Lag(), initial)
+}

@@ -1,0 +1,65 @@
+package sensor
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestDefaultBusReproducesPaperLag(t *testing.T) {
+	b := DefaultBus()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Lag(); got != 10 {
+		t.Errorf("default 16-sensor lag = %v, want 10 s (paper Fig. 1)", got)
+	}
+}
+
+func TestBusLagGrowsWithSensorCount(t *testing.T) {
+	// The paper's claim: more sensors per generation, worse contention lag.
+	prev := units.Seconds(0)
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		b := DefaultBus()
+		b.NSensors = n
+		lag := b.Lag()
+		if lag <= prev {
+			t.Errorf("lag(%d sensors) = %v, not above %v", n, lag, prev)
+		}
+		prev = lag
+	}
+	b := DefaultBus()
+	b.NSensors = 32
+	if got := b.Lag(); got != 18 {
+		t.Errorf("32-sensor lag = %v, want 18 s", got)
+	}
+}
+
+func TestBusValidation(t *testing.T) {
+	cases := []Bus{
+		{BaseLatency: -1, TransferTime: 0.5, NSensors: 16},
+		{BaseLatency: 2, TransferTime: -0.5, NSensors: 16},
+		{BaseLatency: 2, TransferTime: 0.5, NSensors: 0},
+	}
+	for i, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid bus accepted", i)
+		}
+		if _, err := b.DelayLine(0); err == nil {
+			t.Errorf("case %d: DelayLine accepted invalid bus", i)
+		}
+	}
+}
+
+func TestBusDelayLine(t *testing.T) {
+	b := Bus{BaseLatency: 1, TransferTime: 0.5, NSensors: 2} // 2 s lag
+	d, err := b.DelayLine(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Sample(0, 100)
+	d.Sample(1, 101)
+	if got := d.Sample(2, 102); got != 100 {
+		t.Errorf("bus delay out = %v, want 100", got)
+	}
+}

@@ -1,0 +1,79 @@
+package sensor
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// StuckAt is a fault-injection stage: between FailAt and RecoverAt the
+// stage reports the last value seen before the failure (a frozen I2C
+// endpoint or a wedged management controller — the most common real
+// telemetry failure mode, and a nastier one than absence because the
+// reading still looks plausible).
+type StuckAt struct {
+	FailAt    units.Seconds
+	RecoverAt units.Seconds // zero or below FailAt means never recovers
+	last      float64
+	primed    bool
+}
+
+// NewStuckAt builds the fault stage.
+func NewStuckAt(failAt, recoverAt units.Seconds) (*StuckAt, error) {
+	if failAt < 0 {
+		return nil, fmt.Errorf("sensor: negative failure time %v", failAt)
+	}
+	return &StuckAt{FailAt: failAt, RecoverAt: recoverAt}, nil
+}
+
+// Sample implements Stage.
+func (f *StuckAt) Sample(t units.Seconds, v float64) float64 {
+	failed := t >= f.FailAt && (f.RecoverAt <= f.FailAt || t < f.RecoverAt)
+	if !failed {
+		f.last = v
+		f.primed = true
+		return v
+	}
+	if !f.primed {
+		f.last = v
+		f.primed = true
+	}
+	return f.last
+}
+
+// Reset implements Stage.
+func (f *StuckAt) Reset() { f.last, f.primed = 0, false }
+
+// Dropout is a fault-injection stage that replaces a deterministic
+// pseudo-random fraction of samples with the previous delivered value —
+// the bus-arbitration losses of a congested I2C segment.
+type Dropout struct {
+	Rate float64 // fraction of samples dropped, [0, 1)
+	Seed int64
+	k    int64
+	last float64
+	prim bool
+}
+
+// NewDropout builds the stage.
+func NewDropout(rate float64, seed int64) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("sensor: dropout rate %v outside [0, 1)", rate)
+	}
+	return &Dropout{Rate: rate, Seed: seed}, nil
+}
+
+// Sample implements Stage.
+func (d *Dropout) Sample(_ units.Seconds, v float64) float64 {
+	d.k++
+	if d.prim && stats.HashUniform(d.Seed, d.k) < d.Rate {
+		return d.last
+	}
+	d.last = v
+	d.prim = true
+	return v
+}
+
+// Reset implements Stage.
+func (d *Dropout) Reset() { d.k, d.last, d.prim = 0, 0, false }

@@ -1,0 +1,102 @@
+package sensor
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestStuckAtFreezesAndRecovers(t *testing.T) {
+	f, err := NewStuckAt(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := f.Sample(units.Seconds(i), float64(i)); got != float64(i) {
+			t.Fatalf("pre-failure t=%d: %v", i, got)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if got := f.Sample(units.Seconds(i), float64(i)); got != 9 {
+			t.Fatalf("failed t=%d: %v, want stuck at 9", i, got)
+		}
+	}
+	if got := f.Sample(20, 42); got != 42 {
+		t.Fatalf("post-recovery: %v", got)
+	}
+}
+
+func TestStuckAtNeverRecovers(t *testing.T) {
+	f, _ := NewStuckAt(5, 0)
+	f.Sample(4, 7)
+	for i := 5; i < 100; i++ {
+		if got := f.Sample(units.Seconds(i), float64(i)); got != 7 {
+			t.Fatalf("t=%d: %v, want 7 forever", i, got)
+		}
+	}
+}
+
+func TestStuckAtImmediateFailure(t *testing.T) {
+	// Failing before any sample: the first observed value freezes.
+	f, _ := NewStuckAt(0, 0)
+	if got := f.Sample(0, 55); got != 55 {
+		t.Fatalf("first = %v", got)
+	}
+	if got := f.Sample(1, 99); got != 55 {
+		t.Fatalf("second = %v, want frozen 55", got)
+	}
+}
+
+func TestStuckAtValidationAndReset(t *testing.T) {
+	if _, err := NewStuckAt(-1, 0); err == nil {
+		t.Error("negative fail time accepted")
+	}
+	f, _ := NewStuckAt(0, 0)
+	f.Sample(0, 3)
+	f.Reset()
+	if got := f.Sample(5, 8); got != 8 {
+		t.Errorf("after reset = %v", got)
+	}
+}
+
+func TestDropoutRateAndDeterminism(t *testing.T) {
+	d, err := NewDropout(0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if got := d.Sample(units.Seconds(i), float64(i)); got != float64(i) {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / float64(n)
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("dropout rate = %v, want ~0.3", rate)
+	}
+	// Determinism.
+	d2, _ := NewDropout(0.3, 9)
+	d.Reset()
+	for i := 0; i < 100; i++ {
+		if d.Sample(units.Seconds(i), float64(i)) != d2.Sample(units.Seconds(i), float64(i)) {
+			t.Fatal("dropout streams diverged")
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	if _, err := NewDropout(1.0, 0); err == nil {
+		t.Error("rate 1.0 accepted")
+	}
+	if _, err := NewDropout(-0.1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestDropoutFirstSampleAlwaysDelivered(t *testing.T) {
+	d, _ := NewDropout(0.99, 1)
+	if got := d.Sample(0, 3.14); got != 3.14 {
+		t.Errorf("first sample = %v, want delivered (nothing to hold yet)", got)
+	}
+}

@@ -1,0 +1,267 @@
+// Package sensor models the non-ideal temperature measurement chain of
+// Sec. I and III-A: the physical transducer value passes through additive
+// noise, an 8-bit ADC quantizer, and an I2C transport that delays every
+// sample by ~10 s before the DTM firmware sees it. The package also models
+// bus bandwidth contention, reproducing the paper's observation that the
+// lag worsens as server generations add sensors.
+//
+// Stages compose through the Stage interface; Pipeline chains them. All
+// stages are driven on the simulator's clock (Sample(t, v)), never the wall
+// clock.
+package sensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Stage transforms one sample of a measured signal at simulation time t.
+type Stage interface {
+	// Sample pushes the physical value v at time t through the stage and
+	// returns the stage output as visible at time t.
+	Sample(t units.Seconds, v float64) float64
+	// Reset clears stage state.
+	Reset()
+}
+
+// Quantizer is a mid-tread uniform ADC quantizer: an n-bit converter over
+// [Min, Max] rounds to the nearest of 2^n levels. With the paper's 8-bit
+// converter over 0..255 °C the step is exactly 1 °C.
+type Quantizer struct {
+	Min, Max float64
+	step     float64
+	levels   int
+}
+
+// NewQuantizer builds an n-bit quantizer over [min, max].
+func NewQuantizer(bits int, min, max float64) (*Quantizer, error) {
+	if bits < 1 || bits > 32 {
+		return nil, fmt.Errorf("sensor: bits %d outside [1, 32]", bits)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("sensor: bad quantizer range [%v, %v]", min, max)
+	}
+	levels := 1 << uint(bits)
+	return &Quantizer{
+		Min:    min,
+		Max:    max,
+		step:   (max - min) / float64(levels-1),
+		levels: levels,
+	}, nil
+}
+
+// TableIQuantizer returns the paper's measurement quantizer: an 8-bit ADC
+// spanning 0..255 °C, i.e. a 1 °C step.
+func TableIQuantizer() *Quantizer {
+	q, err := NewQuantizer(8, 0, 255)
+	if err != nil {
+		panic(err) // constants are valid by construction
+	}
+	return q
+}
+
+// Step returns the quantization step size |T_Q|.
+func (q *Quantizer) Step() float64 { return q.step }
+
+// Sample implements Stage: round to the nearest level, clamped to range.
+func (q *Quantizer) Sample(_ units.Seconds, v float64) float64 {
+	v = units.Clamp(v, q.Min, q.Max)
+	k := math.Round((v - q.Min) / q.step)
+	return q.Min + k*q.step
+}
+
+// Reset implements Stage (the quantizer is stateless).
+func (q *Quantizer) Reset() {}
+
+// DelayLine is a pure transport delay: the value visible at time t is the
+// newest sample taken at or before t - Delay. It models the I2C/BMC
+// telemetry path of Fig. 1. Before any sample is old enough, the output
+// holds the configured initial value.
+type DelayLine struct {
+	Delay   units.Seconds
+	Initial float64
+	buf     []timedSample
+}
+
+type timedSample struct {
+	t units.Seconds
+	v float64
+}
+
+// NewDelayLine builds a delay line with the given dead time and the value
+// reported before any delayed sample is available.
+func NewDelayLine(delay units.Seconds, initial float64) (*DelayLine, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("sensor: negative delay %v", delay)
+	}
+	return &DelayLine{Delay: delay, Initial: initial}, nil
+}
+
+// Sample implements Stage.
+func (d *DelayLine) Sample(t units.Seconds, v float64) float64 {
+	d.buf = append(d.buf, timedSample{t: t, v: v})
+	cutoff := t - d.Delay
+	// Drop entries strictly older than the newest one at/before cutoff;
+	// keep that one as the current output.
+	out := d.Initial
+	idx := -1
+	for i, s := range d.buf {
+		if s.t <= cutoff {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx >= 0 {
+		out = d.buf[idx].v
+		d.buf = d.buf[idx:]
+	}
+	return out
+}
+
+// Reset implements Stage.
+func (d *DelayLine) Reset() { d.buf = nil }
+
+// GaussianNoise adds zero-mean Gaussian noise with the given standard
+// deviation, from a deterministic source.
+type GaussianNoise struct {
+	Sigma float64
+	rng   *stats.Rand
+	seed  int64
+}
+
+// NewGaussianNoise builds a noise stage with deterministic seed.
+func NewGaussianNoise(sigma float64, seed int64) (*GaussianNoise, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("sensor: negative noise sigma %v", sigma)
+	}
+	return &GaussianNoise{Sigma: sigma, rng: stats.NewRand(seed), seed: seed}, nil
+}
+
+// Sample implements Stage.
+func (g *GaussianNoise) Sample(_ units.Seconds, v float64) float64 {
+	if g.Sigma == 0 {
+		return v
+	}
+	return g.rng.Normal(v, g.Sigma)
+}
+
+// Reset implements Stage: the noise stream restarts from its seed.
+func (g *GaussianNoise) Reset() { g.rng = stats.NewRand(g.seed) }
+
+// SampleHold decimates the signal to one sample per Interval: the output
+// changes only at multiples of the sampling interval (sensor polling
+// period), holding in between.
+type SampleHold struct {
+	Interval units.Seconds
+	lastT    units.Seconds
+	value    float64
+	primed   bool
+}
+
+// NewSampleHold builds a sample-and-hold stage with the given interval.
+func NewSampleHold(interval units.Seconds) (*SampleHold, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sensor: non-positive sample interval %v", interval)
+	}
+	return &SampleHold{Interval: interval}, nil
+}
+
+// Sample implements Stage.
+func (s *SampleHold) Sample(t units.Seconds, v float64) float64 {
+	if !s.primed || t-s.lastT >= s.Interval-1e-9 {
+		s.value = v
+		s.lastT = t
+		s.primed = true
+	}
+	return s.value
+}
+
+// Reset implements Stage.
+func (s *SampleHold) Reset() { s.primed = false; s.value = 0; s.lastT = 0 }
+
+// Pipeline chains stages in order: physical value in, DTM-visible value
+// out. The paper's chain is noise -> quantizer -> delay.
+type Pipeline struct {
+	stages []Stage
+}
+
+// NewPipeline builds a pipeline over the given stages. An empty pipeline
+// is the identity (an ideal sensor).
+func NewPipeline(stages ...Stage) *Pipeline { return &Pipeline{stages: stages} }
+
+// Sample implements Stage.
+func (p *Pipeline) Sample(t units.Seconds, v float64) float64 {
+	for _, s := range p.stages {
+		v = s.Sample(t, v)
+	}
+	return v
+}
+
+// Reset implements Stage.
+func (p *Pipeline) Reset() {
+	for _, s := range p.stages {
+		s.Reset()
+	}
+}
+
+// Config bundles the parameters of the paper's measurement system.
+type Config struct {
+	LagSeconds   units.Seconds // I2C transport delay (paper: 10 s)
+	ADCBits      int           // converter resolution (paper: 8)
+	RangeMin     float64       // ADC range lower bound in °C (paper: 0)
+	RangeMax     float64       // ADC range upper bound in °C (paper: 255)
+	NoiseSigma   float64       // transducer noise σ in °C (0 = clean)
+	NoiseSeed    int64         // deterministic noise seed
+	InitialValue float64       // value reported before the first delayed sample
+}
+
+// TableIConfig returns the paper's measurement system: 10 s lag, 8-bit ADC
+// over 0–255 °C (1 °C quantization), no transducer noise, reporting
+// ambient-ish 25 °C until telemetry arrives.
+func TableIConfig() Config {
+	return Config{
+		LagSeconds:   10,
+		ADCBits:      8,
+		RangeMin:     0,
+		RangeMax:     255,
+		InitialValue: 25,
+	}
+}
+
+// New builds the standard measurement pipeline from c:
+// noise -> ADC quantizer -> I2C delay.
+func New(c Config) (*Pipeline, error) {
+	if c.LagSeconds < 0 {
+		return nil, fmt.Errorf("sensor: negative lag %v", c.LagSeconds)
+	}
+	if c.NoiseSigma < 0 {
+		return nil, fmt.Errorf("sensor: negative noise sigma %v", c.NoiseSigma)
+	}
+	var stages []Stage
+	if c.NoiseSigma > 0 {
+		n, err := NewGaussianNoise(c.NoiseSigma, c.NoiseSeed)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, n)
+	}
+	if c.ADCBits > 0 {
+		q, err := NewQuantizer(c.ADCBits, c.RangeMin, c.RangeMax)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, q)
+	}
+	if c.LagSeconds > 0 {
+		d, err := NewDelayLine(c.LagSeconds, c.InitialValue)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, d)
+	}
+	return NewPipeline(stages...), nil
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Duration units.Seconds      // simulated horizon
+	Workload workload.Generator // demanded utilization
+	Policy   Policy             // DTM under test
+	// Record enables full time-series capture (memory-heavy for long
+	// runs; metrics are always computed).
+	Record bool
+	// WarmStart, if non-nil, initializes the platform at thermal steady
+	// state for the given operating point instead of a cold chassis.
+	WarmStart *WarmPoint
+}
+
+// WarmPoint is a steady-state initial operating condition.
+type WarmPoint struct {
+	Util units.Utilization
+	Fan  units.RPM
+}
+
+// Metrics are the paper's evaluation quantities for one run.
+type Metrics struct {
+	Ticks          int
+	ViolationFrac  float64     // Table III column 2 (fraction, not %)
+	HWThrottleFrac float64     // fraction of ticks the 80 °C clamp engaged
+	FanEnergy      units.Joule // Table III column 3 numerator
+	CPUEnergy      units.Joule
+	MaxJunction    units.Celsius
+	MeanJunction   units.Celsius
+	TimeAboveLimit units.Seconds
+	MeanFanSpeed   units.RPM
+	MeanDelivered  units.Utilization
+	MeanDemand     units.Utilization
+}
+
+// Result bundles the metrics and (optionally) the recorded traces of a run.
+type Result struct {
+	Metrics Metrics
+	// Traces: "demand", "delivered", "cap", "fan_cmd", "fan_actual",
+	// "junction", "measured". Nil unless RunConfig.Record.
+	Traces *trace.Set
+}
+
+// Run executes one simulation.
+func Run(server *PhysicalServer, rc RunConfig) (*Result, error) {
+	if rc.Duration <= 0 {
+		return nil, fmt.Errorf("sim: non-positive duration %v", rc.Duration)
+	}
+	if rc.Workload == nil {
+		return nil, fmt.Errorf("sim: nil workload")
+	}
+	if rc.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	server.Reset()
+	rc.Policy.Reset()
+	if rc.WarmStart != nil {
+		if err := server.WarmStart(rc.WarmStart.Util, rc.WarmStart.Fan); err != nil {
+			return nil, err
+		}
+	}
+
+	var ts *trace.Set
+	var sDemand, sDelivered, sCap, sFanCmd, sFanAct, sJunction, sMeasured *trace.Series
+	if rc.Record {
+		ts = trace.NewSet()
+		sDemand = trace.NewSeries("demand")
+		sDelivered = trace.NewSeries("delivered")
+		sCap = trace.NewSeries("cap")
+		sFanCmd = trace.NewSeries("fan_cmd")
+		sFanAct = trace.NewSeries("fan_actual")
+		sJunction = trace.NewSeries("junction")
+		sMeasured = trace.NewSeries("measured")
+		for _, s := range []*trace.Series{sDemand, sDelivered, sCap, sFanCmd, sFanAct, sJunction, sMeasured} {
+			ts.Add(s)
+		}
+	}
+
+	var m Metrics
+	violations, hwThrottles := 0, 0
+	var sumJunction, sumFan, sumDelivered, sumDemand float64
+	prev := TickResult{Cap: 1, FanCmd: server.FanCommand(), FanActual: server.FanActual(), Measured: units.Celsius(server.cfg.Sensor.InitialValue)}
+	if rc.WarmStart != nil {
+		prev.Measured = server.Junction()
+		prev.Cap = server.Cap()
+	}
+	nTicks := int(float64(rc.Duration) / float64(server.cfg.Tick))
+	for k := 0; k < nTicks; k++ {
+		t := units.Seconds(float64(k) * float64(server.cfg.Tick))
+		cmd := rc.Policy.Step(Observation{
+			T:         t,
+			Measured:  prev.Measured,
+			Demand:    rc.Workload.At(t),
+			Delivered: prev.Delivered,
+			Violated:  prev.Violated,
+			FanCmd:    server.FanCommand(),
+			FanActual: server.FanActual(),
+			Cap:       server.Cap(),
+		})
+		server.CommandFan(cmd.Fan)
+		server.SetCap(cmd.Cap)
+		res := server.Tick(rc.Workload.At(t))
+		prev = res
+
+		if res.Violated {
+			violations++
+		}
+		if res.HWThrottled {
+			hwThrottles++
+		}
+		m.FanEnergy += res.FanEnergyJ
+		m.CPUEnergy += res.CPUEnergyJ
+		if res.Junction > m.MaxJunction {
+			m.MaxJunction = res.Junction
+		}
+		if res.Junction > server.cfg.TLimit {
+			m.TimeAboveLimit += server.cfg.Tick
+		}
+		sumJunction += float64(res.Junction)
+		sumFan += float64(res.FanActual)
+		sumDelivered += float64(res.Delivered)
+		sumDemand += float64(res.Demand)
+
+		if rc.Record {
+			tf := float64(res.T)
+			sDemand.MustAppend(tf, float64(res.Demand))
+			sDelivered.MustAppend(tf, float64(res.Delivered))
+			sCap.MustAppend(tf, float64(res.Cap))
+			sFanCmd.MustAppend(tf, float64(res.FanCmd))
+			sFanAct.MustAppend(tf, float64(res.FanActual))
+			sJunction.MustAppend(tf, float64(res.Junction))
+			sMeasured.MustAppend(tf, float64(res.Measured))
+		}
+	}
+
+	m.Ticks = nTicks
+	if nTicks > 0 {
+		m.ViolationFrac = float64(violations) / float64(nTicks)
+		m.HWThrottleFrac = float64(hwThrottles) / float64(nTicks)
+		m.MeanJunction = units.Celsius(sumJunction / float64(nTicks))
+		m.MeanFanSpeed = units.RPM(sumFan / float64(nTicks))
+		m.MeanDelivered = units.Utilization(sumDelivered / float64(nTicks))
+		m.MeanDemand = units.Utilization(sumDemand / float64(nTicks))
+	}
+	return &Result{Metrics: m, Traces: ts}, nil
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "repro/internal/units"
+
+// Observation is what a DTM policy sees at one engine tick: only
+// firmware-visible quantities. The true junction temperature is
+// deliberately absent — policies live behind the non-ideal measurement
+// chain, exactly as in the paper.
+type Observation struct {
+	T         units.Seconds     // simulation time
+	Measured  units.Celsius     // lagged + quantized temperature
+	Demand    units.Utilization // workload requirement this tick (OS-visible)
+	Delivered units.Utilization // what actually ran last tick
+	Violated  bool              // last tick missed its demand
+	FanCmd    units.RPM         // current fan command
+	FanActual units.RPM         // physical fan speed
+	Cap       units.Utilization // current CPU cap
+}
+
+// Command is what a policy asks the platform to do for the next tick.
+type Command struct {
+	Fan units.RPM
+	Cap units.Utilization
+}
+
+// Policy is a dynamic thermal management scheme under test. The engine
+// calls Step once per tick; policies decide internally how often each
+// local controller actually fires (Δt_cpu = 1 s, Δt_fan = 30 s in the
+// paper) and hold their commands in between.
+type Policy interface {
+	// Name identifies the policy in results tables.
+	Name() string
+	// Step observes the platform and returns the commands to apply.
+	Step(obs Observation) Command
+	// Reset clears policy state between runs.
+	Reset()
+}
+
+// HoldPolicy keeps the fan at a fixed speed and the cap fully open — the
+// do-nothing baseline used by calibration tests.
+type HoldPolicy struct {
+	Fan units.RPM
+}
+
+// Name implements Policy.
+func (h HoldPolicy) Name() string { return "hold" }
+
+// Step implements Policy.
+func (h HoldPolicy) Step(Observation) Command { return Command{Fan: h.Fan, Cap: 1} }
+
+// Reset implements Policy.
+func (h HoldPolicy) Reset() {}

@@ -1,0 +1,31 @@
+package stats
+
+import "math"
+
+// Hash64 returns a deterministic 64-bit hash of (seed, k) using the
+// splitmix64 finalizer. Workload generators use it for random-access
+// determinism: the k-th tick's randomness is a pure function of (seed, k),
+// independent of query order, and far cheaper than constructing a
+// math/rand source per tick.
+func Hash64(seed, k int64) uint64 {
+	z := uint64(seed) + uint64(k)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// HashUniform returns a deterministic uniform sample in [0, 1) for (seed, k).
+func HashUniform(seed, k int64) float64 {
+	return float64(Hash64(seed, k)>>11) / (1 << 53)
+}
+
+// HashNormal returns a deterministic standard-normal sample for (seed, k)
+// via the Box-Muller transform over two decorrelated hash streams.
+func HashNormal(seed, k int64) float64 {
+	u1 := HashUniform(seed, 2*k)
+	u2 := HashUniform(seed^0x632BE59BD9B4E019, 2*k+1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64(1, 2) == Hash64(1, 3) || Hash64(1, 2) == Hash64(2, 2) {
+		t.Error("hash collisions on adjacent inputs (suspicious)")
+	}
+}
+
+func TestHashUniformRange(t *testing.T) {
+	for k := int64(0); k < 10000; k++ {
+		u := HashUniform(42, k)
+		if u < 0 || u >= 1 {
+			t.Fatalf("HashUniform out of range: %v", u)
+		}
+	}
+}
+
+func TestHashUniformMoments(t *testing.T) {
+	n := int64(100000)
+	var sum float64
+	for k := int64(0); k < n; k++ {
+		sum += HashUniform(7, k)
+	}
+	if m := sum / float64(n); math.Abs(m-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", m)
+	}
+}
+
+func TestHashNormalMoments(t *testing.T) {
+	n := int64(100000)
+	var sum, sumSq float64
+	for k := int64(0); k < n; k++ {
+		x := HashNormal(11, k)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-1) > 0.02 {
+		t.Errorf("normal std = %v, want ~1", std)
+	}
+}
+
+func TestHashNormalDeterministic(t *testing.T) {
+	if HashNormal(3, 9) != HashNormal(3, 9) {
+		t.Fatal("HashNormal not deterministic")
+	}
+}

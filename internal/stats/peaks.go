@@ -1,0 +1,136 @@
+package stats
+
+// Peak is a local extremum of a sampled signal.
+type Peak struct {
+	Index int     // sample index of the extremum
+	Value float64 // signal value at the extremum
+	Max   bool    // true for a local maximum, false for a minimum
+}
+
+// FindPeaks locates local maxima and minima of xs that rise (or fall) at
+// least prominence away from the preceding opposite extremum. It is the
+// primitive behind oscillation detection in the tuning package: sustained
+// oscillation shows as an alternating max/min sequence with roughly constant
+// spacing and amplitude.
+//
+// The algorithm is a single-pass hysteresis tracker: it alternates between
+// searching for a maximum and a minimum, committing an extremum only once
+// the signal has retreated from it by prominence. Flat plateaus report
+// their first sample.
+func FindPeaks(xs []float64, prominence float64) []Peak {
+	if len(xs) < 3 || prominence <= 0 {
+		return nil
+	}
+	var peaks []Peak
+	// Start undecided: track both a running max and min until the signal
+	// has moved prominence away from one of them.
+	maxIdx, minIdx := 0, 0
+	maxVal, minVal := xs[0], xs[0]
+	seekingMax := false
+	decided := false
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		if x > maxVal {
+			maxVal, maxIdx = x, i
+		}
+		if x < minVal {
+			minVal, minIdx = x, i
+		}
+		if !decided {
+			switch {
+			case x <= maxVal-prominence:
+				// First committed extremum is a maximum.
+				peaks = append(peaks, Peak{Index: maxIdx, Value: maxVal, Max: true})
+				decided, seekingMax = true, false
+				minVal, minIdx = x, i
+			case x >= minVal+prominence:
+				peaks = append(peaks, Peak{Index: minIdx, Value: minVal, Max: false})
+				decided, seekingMax = true, true
+				maxVal, maxIdx = x, i
+			}
+			continue
+		}
+		if seekingMax {
+			if x <= maxVal-prominence {
+				peaks = append(peaks, Peak{Index: maxIdx, Value: maxVal, Max: true})
+				seekingMax = false
+				minVal, minIdx = x, i
+			}
+		} else {
+			if x >= minVal+prominence {
+				peaks = append(peaks, Peak{Index: minIdx, Value: minVal, Max: false})
+				seekingMax = true
+				maxVal, maxIdx = x, i
+			}
+		}
+	}
+	return peaks
+}
+
+// PeakSpacing returns the mean spacing in samples between consecutive peaks
+// of the same polarity (max-to-max and min-to-min averaged), which estimates
+// the oscillation period. It returns 0 when there are not enough peaks.
+func PeakSpacing(peaks []Peak) float64 {
+	var sum float64
+	var n int
+	lastMax, lastMin := -1, -1
+	for _, p := range peaks {
+		if p.Max {
+			if lastMax >= 0 {
+				sum += float64(p.Index - lastMax)
+				n++
+			}
+			lastMax = p.Index
+		} else {
+			if lastMin >= 0 {
+				sum += float64(p.Index - lastMin)
+				n++
+			}
+			lastMin = p.Index
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PeakAmplitude returns the mean absolute excursion between consecutive
+// opposite-polarity peaks (half the mean peak-to-peak is the oscillation
+// amplitude). It returns 0 when there are fewer than two peaks.
+func PeakAmplitude(peaks []Peak) float64 {
+	var sum float64
+	var n int
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i].Max != peaks[i-1].Max {
+			d := peaks[i].Value - peaks[i-1].Value
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n) / 2
+}
+
+// AmplitudeTrend returns the ratio of the mean amplitude of the second half
+// of the peak sequence to that of the first half. A ratio near 1 indicates
+// sustained oscillation; well below 1 indicates decay; above 1 indicates
+// growth. It returns 0 when there are fewer than four peaks (trend
+// undefined).
+func AmplitudeTrend(peaks []Peak) float64 {
+	if len(peaks) < 4 {
+		return 0
+	}
+	mid := len(peaks) / 2
+	first := PeakAmplitude(peaks[:mid])
+	second := PeakAmplitude(peaks[mid:])
+	if first == 0 {
+		return 0
+	}
+	return second / first
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(n int, period, amp float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = amp * math.Sin(2*math.Pi*float64(i)/period)
+	}
+	return xs
+}
+
+func TestFindPeaksSine(t *testing.T) {
+	xs := sine(400, 100, 5)
+	peaks := FindPeaks(xs, 1)
+	if len(peaks) < 6 {
+		t.Fatalf("found %d peaks, want >= 6", len(peaks))
+	}
+	// Peaks must alternate polarity.
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i].Max == peaks[i-1].Max {
+			t.Errorf("peaks %d and %d have same polarity", i-1, i)
+		}
+	}
+	// Spacing of same-polarity peaks approximates the period.
+	if sp := PeakSpacing(peaks); math.Abs(sp-100) > 5 {
+		t.Errorf("PeakSpacing = %v, want ~100", sp)
+	}
+	// Amplitude approximates the sine amplitude.
+	if amp := PeakAmplitude(peaks); math.Abs(amp-5) > 0.5 {
+		t.Errorf("PeakAmplitude = %v, want ~5", amp)
+	}
+}
+
+func TestFindPeaksIgnoresSmallRipples(t *testing.T) {
+	// Ripple of amplitude 0.1 on a flat line must not register with
+	// prominence 1.
+	xs := sine(300, 20, 0.1)
+	if peaks := FindPeaks(xs, 1); len(peaks) != 0 {
+		t.Errorf("found %d peaks in sub-prominence ripple", len(peaks))
+	}
+}
+
+func TestFindPeaksEdgeCases(t *testing.T) {
+	if FindPeaks(nil, 1) != nil {
+		t.Error("nil input should yield nil")
+	}
+	if FindPeaks([]float64{1, 2}, 1) != nil {
+		t.Error("too-short input should yield nil")
+	}
+	if FindPeaks(sine(100, 10, 5), 0) != nil {
+		t.Error("non-positive prominence should yield nil")
+	}
+	if peaks := FindPeaks([]float64{3, 3, 3, 3, 3}, 0.5); len(peaks) != 0 {
+		t.Errorf("constant signal has %d peaks", len(peaks))
+	}
+}
+
+func TestFindPeaksMonotone(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if peaks := FindPeaks(xs, 1); len(peaks) != 0 {
+		// A monotone ramp has no committed interior extremum: the running
+		// max is never retreated from, and the initial min can produce at
+		// most one committed minimum at index 0.
+		if len(peaks) > 1 || peaks[0].Index != 0 {
+			t.Errorf("monotone ramp produced peaks %+v", peaks)
+		}
+	}
+}
+
+func TestAmplitudeTrendSustainedVsDecaying(t *testing.T) {
+	sustained := sine(600, 60, 4)
+	peaks := FindPeaks(sustained, 1)
+	if tr := AmplitudeTrend(peaks); math.Abs(tr-1) > 0.15 {
+		t.Errorf("sustained oscillation trend = %v, want ~1", tr)
+	}
+
+	// Exponentially decaying oscillation.
+	decaying := make([]float64, 600)
+	for i := range decaying {
+		decaying[i] = 4 * math.Exp(-float64(i)/150) * math.Sin(2*math.Pi*float64(i)/60)
+	}
+	dp := FindPeaks(decaying, 0.2)
+	if tr := AmplitudeTrend(dp); tr >= 0.8 {
+		t.Errorf("decaying oscillation trend = %v, want < 0.8", tr)
+	}
+
+	// Growing oscillation.
+	growing := make([]float64, 600)
+	for i := range growing {
+		growing[i] = 0.5 * math.Exp(float64(i)/200) * math.Sin(2*math.Pi*float64(i)/60)
+	}
+	gp := FindPeaks(growing, 0.2)
+	if tr := AmplitudeTrend(gp); tr <= 1.2 {
+		t.Errorf("growing oscillation trend = %v, want > 1.2", tr)
+	}
+}
+
+func TestAmplitudeTrendTooFewPeaks(t *testing.T) {
+	if tr := AmplitudeTrend([]Peak{{0, 1, true}, {5, -1, false}}); tr != 0 {
+		t.Errorf("trend with 2 peaks = %v, want 0", tr)
+	}
+}
+
+func TestPeakSpacingTooFew(t *testing.T) {
+	if sp := PeakSpacing([]Peak{{0, 1, true}}); sp != 0 {
+		t.Errorf("spacing with 1 peak = %v, want 0", sp)
+	}
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of single sample != 0")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4}); !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %v", got)
+	}
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v, %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tt := range []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {62.5, 3.5},
+	} {
+		got, err := Percentile(xs, tt.p)
+		if err != nil || !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, %v, want %v", tt.p, got, err, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil) should be ErrEmpty")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should fail")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("Percentile(-1) should fail")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v, %v", got, err)
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	// Sine with a 40-sample period correlates strongly at lag 40.
+	n := 400
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 40)
+	}
+	if got := Autocorrelation(xs, 0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("r(0) = %v, want 1", got)
+	}
+	if got := Autocorrelation(xs, 40); got < 0.8 {
+		t.Errorf("r(40) = %v, want >0.8", got)
+	}
+	if got := Autocorrelation(xs, 20); got > -0.5 {
+		t.Errorf("r(20) = %v, want strongly negative", got)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if Autocorrelation([]float64{1, 1, 1}, 1) != 0 {
+		t.Error("constant signal should have r = 0 (no variance)")
+	}
+	if Autocorrelation([]float64{1, 2}, 5) != 0 {
+		t.Error("out-of-range lag should be 0")
+	}
+	if Autocorrelation([]float64{1, 2}, -1) != 0 {
+		t.Error("negative lag should be 0")
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	n := 600
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 50)
+	}
+	got := DominantPeriod(xs, 5, 0.5)
+	if got < 45 || got > 55 {
+		t.Errorf("DominantPeriod = %v, want ~50", got)
+	}
+	// White-ish aperiodic signal: alternating small values has period 2,
+	// but with minLag 3 and high bar no peak qualifies.
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = float64(i % 2)
+	}
+	if got := DominantPeriod(flat, 3, 0.99); got != 4 && got != 0 {
+		// period-2 harmonics appear at even lags; accept 4 or none
+		t.Logf("DominantPeriod(alternating) = %v", got)
+	}
+	if got := DominantPeriod([]float64{1, 1, 1, 1, 1, 1}, 1, 0.5); got != 0 {
+		t.Errorf("constant signal period = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.55, 0.9, -1, 2}
+	counts, err := Histogram(xs, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", counts)
+	}
+	if _, err := Histogram(xs, 1, 0, 2); err == nil {
+		t.Error("reversed range should fail")
+	}
+	if _, err := Histogram(xs, 0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		counts, err := Histogram(xs, -10, 10, 7)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountAndFractionAbove(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CountAbove(xs, 2.5); got != 2 {
+		t.Errorf("CountAbove = %d", got)
+	}
+	if got := FractionAbove(xs, 2.5); got != 0.5 {
+		t.Errorf("FractionAbove = %v", got)
+	}
+	if FractionAbove(nil, 0) != 0 {
+		t.Error("FractionAbove(nil) != 0")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	g := NewRand(7)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Normal(5, 2)
+	}
+	if m := Mean(xs); !almostEqual(m, 5, 0.05) {
+		t.Errorf("Normal mean = %v, want ~5", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, 2, 0.05) {
+		t.Errorf("Normal std = %v, want ~2", s)
+	}
+}
+
+func TestRandNormalNegativeSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normal(-1) did not panic")
+		}
+	}()
+	NewRand(1).Normal(0, -1)
+}
+
+func TestRandExponential(t *testing.T) {
+	g := NewRand(11)
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := g.Exponential(3)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += v
+	}
+	if m := sum / float64(n); !almostEqual(m, 3, 0.1) {
+		t.Errorf("Exponential mean = %v, want ~3", m)
+	}
+}
+
+func TestRandExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	NewRand(1).Exponential(0)
+}

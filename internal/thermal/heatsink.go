@@ -1,0 +1,72 @@
+// Package thermal implements the temperature models of Sec. III-B: the
+// fan-speed-dependent heat-sink resistance law of Table I, exact
+// exponential integration of first-order RC nodes (Eqs. 2–3), the
+// die-plus-sink server model built on the time-constant separation the
+// paper exploits, and a general thermal RC network (electrical duality,
+// HotSpot-style [18]) used to cross-validate the fast two-node model.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// HeatSinkLaw is the Table I thermal-resistance model
+//
+//	R_hs(v) = R0 + A / v^B   [K/W],  v in rpm,
+//
+// with Table I values R0 = 0.141, A = 132.5, B = 0.923. The resistance
+// falls with air flow, steeply at low speed — the nonlinearity that
+// motivates the adaptive PID controller.
+type HeatSinkLaw struct {
+	R0 units.KPerW // resistance floor at infinite flow
+	A  float64     // numerator of the speed-dependent term
+	B  float64     // speed exponent
+}
+
+// TableIHeatSinkLaw returns the law with the paper's Table I constants.
+func TableIHeatSinkLaw() HeatSinkLaw {
+	return HeatSinkLaw{R0: 0.141, A: 132.5, B: 0.923}
+}
+
+// Resistance returns R_hs at fan speed v. Speeds below minSpeedFloor are
+// clamped there: the law diverges as v -> 0 and a real chassis always has
+// some passive convection.
+func (l HeatSinkLaw) Resistance(v units.RPM) units.KPerW {
+	if v < minSpeedFloor {
+		v = minSpeedFloor
+	}
+	return l.R0 + units.KPerW(l.A/math.Pow(float64(v), l.B))
+}
+
+// minSpeedFloor bounds the resistance law away from its v -> 0 divergence.
+const minSpeedFloor units.RPM = 100
+
+// SpeedFor inverts the law: the fan speed at which the resistance equals r.
+// It returns an error if r is at or below the R0 floor (unreachable) or if
+// r exceeds the resistance at the minimum modeled speed.
+func (l HeatSinkLaw) SpeedFor(r units.KPerW) (units.RPM, error) {
+	if r <= l.R0 {
+		return 0, fmt.Errorf("thermal: resistance %v at or below floor %v", r, l.R0)
+	}
+	v := math.Pow(l.A/float64(r-l.R0), 1/l.B)
+	if v < float64(minSpeedFloor) {
+		return 0, fmt.Errorf("thermal: resistance %v needs speed below floor %v", r, minSpeedFloor)
+	}
+	return units.RPM(v), nil
+}
+
+// Sensitivity returns dT_ss/dv at the given fan speed and heat load: the
+// plant gain the adaptive PID controller linearizes piecewise. It is
+// negative (more flow, cooler sink) and its magnitude shrinks rapidly with
+// speed — about 8x smaller at 6000 rpm than at 2000 rpm with Table I
+// constants.
+func (l HeatSinkLaw) Sensitivity(v units.RPM, load units.Watt) float64 {
+	if v < minSpeedFloor {
+		v = minSpeedFloor
+	}
+	dRdv := -l.B * l.A / math.Pow(float64(v), l.B+1)
+	return dRdv * float64(load)
+}

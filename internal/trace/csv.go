@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV writes the set as CSV with a "t" column followed by one column
+// per series in insertion order. Series are aligned on the union of their
+// timestamps using zero-order hold; values before a series' first sample
+// are written as empty cells.
+func (st *Set) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"t"}, st.order...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	// Union of timestamps.
+	seen := make(map[float64]bool)
+	var times []float64
+	for _, name := range st.order {
+		for _, p := range st.byKey[name].points {
+			if !seen[p.T] {
+				seen[p.T] = true
+				times = append(times, p.T)
+			}
+		}
+	}
+	sort.Float64s(times)
+	row := make([]string, len(header))
+	for _, t := range times {
+		row[0] = formatFloat(t)
+		for i, name := range st.order {
+			if v, ok := st.byKey[name].ValueAt(t); ok {
+				row[i+1] = formatFloat(v)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV written by WriteCSV back into a Set. Empty cells are
+// skipped (the sample is simply absent from that series).
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "t" {
+		return nil, fmt.Errorf("trace: bad header %v", header)
+	}
+	st := NewSet()
+	for _, name := range header[1:] {
+		st.Add(NewSeries(name))
+	}
+	for li, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", li+2, len(rec), len(header))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", li+2, err)
+		}
+		for i, cell := range rec[1:] {
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d col %q: %w", li+2, header[i+1], err)
+			}
+			if err := st.byKey[header[i+1]].Append(t, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }

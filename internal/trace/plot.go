@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions configures terminal rendering of a series set.
+type PlotOptions struct {
+	Width  int     // plot columns, excluding the axis gutter (default 72)
+	Height int     // plot rows (default 16)
+	YMin   float64 // fixed y-axis minimum; used when YFixed is true
+	YMax   float64 // fixed y-axis maximum; used when YFixed is true
+	YFixed bool    // if false, the y range is fitted to the data
+	Title  string  // optional title line
+}
+
+var plotMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders the series of the set as an ASCII chart, one mark per
+// series, with a legend. Series are resampled onto the plot's column grid
+// with zero-order hold. It returns "" for a set with no samples.
+func (st *Set) Plot(opt PlotOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	// Global time extent and y extent.
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, name := range st.order {
+		s := st.byKey[name]
+		if s.Len() == 0 {
+			continue
+		}
+		any = true
+		t0 = math.Min(t0, s.points[0].T)
+		t1 = math.Max(t1, s.points[s.Len()-1].T)
+		for _, p := range s.points {
+			lo = math.Min(lo, p.V)
+			hi = math.Max(hi, p.V)
+		}
+	}
+	if !any {
+		return ""
+	}
+	if opt.YFixed {
+		lo, hi = opt.YMin, opt.YMax
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, name := range st.order {
+		s := st.byKey[name]
+		if s.Len() == 0 {
+			continue
+		}
+		mark := plotMarks[si%len(plotMarks)]
+		for c := 0; c < opt.Width; c++ {
+			t := t0 + (t1-t0)*float64(c)/float64(opt.Width-1)
+			v, ok := s.ValueAt(t)
+			if !ok {
+				continue
+			}
+			frac := (v - lo) / (hi - lo)
+			if frac < 0 || frac > 1 {
+				continue
+			}
+			r := int(math.Round(float64(opt.Height-1) * (1 - frac)))
+			grid[r][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r := 0; r < opt.Height; r++ {
+		y := hi - (hi-lo)*float64(r)/float64(opt.Height-1)
+		fmt.Fprintf(&b, "%10.2f |%s\n", y, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%10s  t=%.0fs%st=%.0fs\n", "", t0,
+		strings.Repeat(" ", maxInt(1, opt.Width-len(fmt.Sprintf("t=%.0fs", t0))-len(fmt.Sprintf("t=%.0fs", t1)))), t1)
+	for si, name := range st.order {
+		if st.byKey[name].Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", plotMarks[si%len(plotMarks)], name)
+	}
+	return b.String()
+}
+
+// Sparkline renders a single series as a one-line block-character chart of
+// the given width, useful for compact progress output.
+func Sparkline(s *Series, width int) string {
+	if s.Len() == 0 || width <= 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	st, _ := s.Summarize()
+	span := st.Max - st.Min
+	t0 := s.points[0].T
+	t1 := s.points[s.Len()-1].T
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	var b strings.Builder
+	for c := 0; c < width; c++ {
+		t := t0 + (t1-t0)*float64(c)/float64(maxInt(1, width-1))
+		v, ok := s.ValueAt(t)
+		if !ok {
+			b.WriteRune(' ')
+			continue
+		}
+		var level int
+		if span == 0 {
+			level = 0
+		} else {
+			level = int((v - st.Min) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[level])
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package tuning
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/units"
+)
+
+// Rule is a Ziegler–Nichols-type tuning rule mapping (K_u, P_u) to PID
+// parameters in the classic continuous parameterization
+//
+//	KP = KPFactor * Ku,  Ti = TiFactor * Pu,  Td = TdFactor * Pu,
+//
+// discretized for the Eq. 4 positional sum form at control period h as
+//
+//	KI_step = KP * h / Ti,   KD_step = KP * Td / h.
+//
+// TiFactor == 0 disables the integral term (pure P/PD rules).
+type Rule struct {
+	Name     string
+	KPFactor float64
+	TiFactor float64
+	TdFactor float64
+}
+
+// The standard rule table. ClassicPID is the paper's Eqs. 5–7
+// (KP = 0.6 Ku, KI = KP·2/Pu, KD = KP·Pu/8, i.e. Ti = Pu/2, Td = Pu/8).
+var (
+	ClassicPID     = Rule{Name: "classic-pid", KPFactor: 0.6, TiFactor: 0.5, TdFactor: 0.125}
+	ClassicPI      = Rule{Name: "classic-pi", KPFactor: 0.45, TiFactor: 1 / 1.2}
+	ClassicP       = Rule{Name: "classic-p", KPFactor: 0.5}
+	PessenIntegral = Rule{Name: "pessen", KPFactor: 0.7, TiFactor: 0.4, TdFactor: 0.15}
+	SomeOvershoot  = Rule{Name: "some-overshoot", KPFactor: 0.33, TiFactor: 0.5, TdFactor: 1.0 / 3}
+	NoOvershoot    = Rule{Name: "no-overshoot", KPFactor: 0.2, TiFactor: 0.5, TdFactor: 1.0 / 3}
+)
+
+// Rules lists every built-in rule, for sweeps and the tuning CLI.
+var Rules = []Rule{ClassicPID, ClassicPI, ClassicP, PessenIntegral, SomeOvershoot, NoOvershoot}
+
+// RuleByName returns the built-in rule with the given name.
+func RuleByName(name string) (Rule, error) {
+	for _, r := range Rules {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Rule{}, fmt.Errorf("tuning: unknown rule %q", name)
+}
+
+// Gains applies the rule to an ultimate-gain measurement, producing
+// per-step discrete gains for a controller running every h seconds.
+func (r Rule) Gains(u Ultimate, h units.Seconds) (control.PIDGains, error) {
+	if u.Ku <= 0 || u.Pu <= 0 {
+		return control.PIDGains{}, fmt.Errorf("tuning: bad ultimate point %+v", u)
+	}
+	if h <= 0 {
+		return control.PIDGains{}, fmt.Errorf("tuning: non-positive control period %v", h)
+	}
+	kp := r.KPFactor * float64(u.Ku)
+	g := control.PIDGains{KP: kp}
+	if r.TiFactor > 0 {
+		ti := r.TiFactor * float64(u.Pu)
+		g.KI = kp * float64(h) / ti
+	}
+	if r.TdFactor > 0 {
+		td := r.TdFactor * float64(u.Pu)
+		g.KD = kp * td / float64(h)
+	}
+	return g, nil
+}
+
+// TuneRegion runs the full closed-loop Z-N procedure at one operating
+// point and returns the gain-scheduling region for the adaptive controller.
+func TuneRegion(p Plant, cfg ZNConfig, rule Rule) (control.Region, Ultimate, error) {
+	u, err := FindUltimate(p, cfg)
+	if err != nil {
+		return control.Region{}, Ultimate{}, err
+	}
+	g, err := rule.Gains(u, p.ControlPeriod())
+	if err != nil {
+		return control.Region{}, Ultimate{}, err
+	}
+	return control.Region{RefSpeed: cfg.RefSpeed, Gains: g}, u, nil
+}

@@ -1,0 +1,270 @@
+// Package tuning implements the controller tuning machinery of Sec. IV-A:
+// the Ziegler–Nichols closed-loop method (find the ultimate gain K_u whose
+// proportional-only loop oscillates indefinitely at steady state, measure
+// the ultimate period P_u, then apply the rule table of Eqs. 5–7), a relay
+// (Åström–Hägglund) autotuner as a faster alternative, and the sustained-
+// oscillation classifier both need.
+//
+// The tuner drives a Plant: one closed-loop decision step at a time, on
+// the simulated clock. The sim package adapts the full server model
+// (thermal + non-ideal sensing) to this interface.
+package tuning
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Plant is a single-input single-output process under test: fan speed
+// command in, DTM-visible measured temperature out, advanced one fan
+// control period per Step.
+type Plant interface {
+	// Reset returns the plant to its initial operating condition.
+	Reset()
+	// Step applies the fan speed for one control period and returns the
+	// measurement visible at the end of the period.
+	Step(s units.RPM) units.Celsius
+	// ControlPeriod returns the duration of one Step in seconds.
+	ControlPeriod() units.Seconds
+}
+
+// Verdict classifies a closed-loop response.
+type Verdict int
+
+// Verdict values, ordered by oscillatory energy.
+const (
+	// Quiet: no significant oscillation detected.
+	Quiet Verdict = iota
+	// Decaying: oscillation present but shrinking.
+	Decaying
+	// Sustained: steady limit-cycle oscillation (the Z-N target).
+	Sustained
+	// Growing: oscillation amplitude increasing — unstable.
+	Growing
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Quiet:
+		return "quiet"
+	case Decaying:
+		return "decaying"
+	case Sustained:
+		return "sustained"
+	case Growing:
+		return "growing"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Oscillation summarizes the oscillatory content of a sampled signal.
+type Oscillation struct {
+	Verdict   Verdict
+	Amplitude float64 // mean half peak-to-peak excursion
+	Period    float64 // in samples; multiply by the control period for seconds
+	Trend     float64 // late/early amplitude ratio (1 = sustained)
+}
+
+// Classify analyzes a signal for sustained oscillation. prominence sets
+// the minimum excursion that counts as a peak (noise floor); sustainedTol
+// brackets the amplitude-trend ratio accepted as "sustained"
+// (e.g. 0.25 accepts trends in [0.75, 1.33]).
+func Classify(xs []float64, prominence, sustainedTol float64) Oscillation {
+	peaks := stats.FindPeaks(xs, prominence)
+	if len(peaks) < 4 {
+		return Oscillation{Verdict: Quiet}
+	}
+	amp := stats.PeakAmplitude(peaks)
+	period := stats.PeakSpacing(peaks)
+	trend := stats.AmplitudeTrend(peaks)
+	o := Oscillation{Amplitude: amp, Period: period, Trend: trend}
+	lo, hi := 1-sustainedTol, 1/(1-sustainedTol)
+	switch {
+	case trend > hi:
+		o.Verdict = Growing
+	case trend >= lo:
+		o.Verdict = Sustained
+	default:
+		o.Verdict = Decaying
+	}
+	return o
+}
+
+// ZNConfig parameterizes the closed-loop ultimate-gain search.
+type ZNConfig struct {
+	RefTemp  units.Celsius // set-point the P-only loop tracks
+	RefSpeed units.RPM     // Eq. 4 offset s_ref at the operating point
+	Limits   control.Limits
+	// KPLo and KPHi bracket the search. KPLo must be stable (decaying)
+	// and KPHi unstable (growing); FindUltimate verifies both.
+	KPLo, KPHi float64
+	// Steps per trial run and warmup steps run before the perturbation.
+	Steps, Warmup int
+	// PulseRPM and PulseSteps define the excitation: after warmup the
+	// commanded speed is offset by PulseRPM for PulseSteps decisions,
+	// then the loop is observed. Defaults: 20% of RefSpeed, 4 steps.
+	// Without excitation a noiseless stable loop sits at exactly zero
+	// error and every gain would classify as quiet.
+	PulseRPM   units.RPM
+	PulseSteps int
+	// Prominence for peak detection in °C (noise floor). Default 0.1.
+	Prominence float64
+	// SustainedTol brackets the sustained verdict. Default 0.35.
+	SustainedTol float64
+	// Iterations bounds the bisection. Default 24.
+	Iterations int
+	// SatFraction is the fraction of post-pulse steps pinned at an
+	// actuator limit above which the trial is declared unstable even if
+	// the rail-to-rail cycle looks "sustained". Default 0.25.
+	SatFraction float64
+}
+
+func (c *ZNConfig) setDefaults() {
+	if c.Steps == 0 {
+		c.Steps = 160
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 40
+	}
+	if c.PulseRPM == 0 {
+		c.PulseRPM = c.RefSpeed / 5
+		if c.PulseRPM < 100 {
+			c.PulseRPM = 100
+		}
+	}
+	if c.PulseSteps == 0 {
+		c.PulseSteps = 4
+	}
+	if c.Prominence == 0 {
+		c.Prominence = 0.1
+	}
+	if c.SustainedTol == 0 {
+		c.SustainedTol = 0.35
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 24
+	}
+	if c.SatFraction == 0 {
+		c.SatFraction = 0.25
+	}
+}
+
+// Ultimate is the result of an ultimate-gain experiment.
+type Ultimate struct {
+	Ku units.RPM     // per °C: the proportional gain at the stability boundary
+	Pu units.Seconds // the ultimate oscillation period
+}
+
+// runPOnly drives a proportional-only loop at gain kp: warmup to settle,
+// a pulse perturbation to excite the loop, then observation. It returns
+// the post-pulse measurement trace and the fraction of observed steps the
+// actuator spent pinned at a limit.
+func runPOnly(p Plant, cfg ZNConfig, kp float64) (trace []float64, satFrac float64) {
+	p.Reset()
+	pid, err := control.NewPID(control.PIDConfig{
+		Gains:    control.PIDGains{KP: kp},
+		RefSpeed: cfg.RefSpeed,
+		RefTemp:  cfg.RefTemp,
+		Limits:   cfg.Limits,
+	})
+	if err != nil {
+		panic(err) // gains >= 0 and validated limits by FindUltimate
+	}
+	s := cfg.RefSpeed
+	total := cfg.Warmup + cfg.PulseSteps + cfg.Steps
+	trace = make([]float64, 0, cfg.Steps)
+	saturated := 0
+	for k := 0; k < total; k++ {
+		cmd := s
+		if k >= cfg.Warmup && k < cfg.Warmup+cfg.PulseSteps {
+			cmd = cfg.Limits.Clamp(s - cfg.PulseRPM) // heat the plant briefly
+		}
+		meas := p.Step(cmd)
+		if k >= cfg.Warmup+cfg.PulseSteps {
+			trace = append(trace, float64(meas))
+			if s <= cfg.Limits.Min || s >= cfg.Limits.Max {
+				saturated++
+			}
+		}
+		s = pid.Decide(control.FanInputs{Meas: meas, Actual: cmd})
+	}
+	if cfg.Steps > 0 {
+		satFrac = float64(saturated) / float64(cfg.Steps)
+	}
+	return trace, satFrac
+}
+
+// classifyGain runs one P-only trial and classifies it. Trials that spend
+// a large fraction of their time pinned at an actuator limit are declared
+// Growing regardless of the waveform: a rail-to-rail limit cycle is
+// instability for Z-N purposes, not sustained oscillation at the boundary.
+func classifyGain(p Plant, cfg ZNConfig, kp float64) Oscillation {
+	trace, satFrac := runPOnly(p, cfg, kp)
+	o := Classify(trace, cfg.Prominence, cfg.SustainedTol)
+	if satFrac > cfg.SatFraction {
+		o.Verdict = Growing
+	}
+	return o
+}
+
+// FindUltimate locates the ultimate gain K_u and period P_u by bisection
+// between a stable and an unstable proportional gain (Sec. IV-A: "finding
+// the value of the proportional-only gain that causes the control loop to
+// oscillate indefinitely at steady state").
+func FindUltimate(p Plant, cfg ZNConfig) (Ultimate, error) {
+	cfg.setDefaults()
+	if err := cfg.Limits.Validate(); err != nil {
+		return Ultimate{}, err
+	}
+	if cfg.KPLo <= 0 || cfg.KPHi <= cfg.KPLo {
+		return Ultimate{}, fmt.Errorf("tuning: bad bracket [%v, %v]", cfg.KPLo, cfg.KPHi)
+	}
+	lo, hi := cfg.KPLo, cfg.KPHi
+	if v := classifyGain(p, cfg, lo).Verdict; v == Growing {
+		return Ultimate{}, fmt.Errorf("tuning: lower bracket %v already unstable", lo)
+	}
+	if v := classifyGain(p, cfg, hi).Verdict; v != Growing && v != Sustained {
+		return Ultimate{}, fmt.Errorf("tuning: upper bracket %v not unstable (%v)", hi, v)
+	}
+	best := Oscillation{}
+	bestKp := 0.0
+	for i := 0; i < cfg.Iterations; i++ {
+		mid := (lo + hi) / 2
+		o := classifyGain(p, cfg, mid)
+		switch o.Verdict {
+		case Growing:
+			hi = mid
+		case Sustained:
+			// Keep the largest sustained gain seen; continue tightening
+			// toward the true boundary from below.
+			if mid > bestKp {
+				best, bestKp = o, mid
+			}
+			lo = mid
+		default:
+			lo = mid
+		}
+	}
+	if bestKp == 0 {
+		// The boundary was crossed without landing on a "sustained"
+		// verdict (classification bands can be narrow); use the midpoint
+		// and measure the period at the last stable-ish gain.
+		bestKp = (lo + hi) / 2
+		best = classifyGain(p, cfg, bestKp)
+		if best.Period == 0 {
+			best = classifyGain(p, cfg, hi)
+		}
+		if best.Period == 0 {
+			return Ultimate{}, fmt.Errorf("tuning: could not measure ultimate period near kp=%v", bestKp)
+		}
+	}
+	return Ultimate{
+		Ku: units.RPM(bestKp),
+		Pu: units.Seconds(best.Period) * p.ControlPeriod(),
+	}, nil
+}
