@@ -1,0 +1,34 @@
+# Development and CI entry points. `make ci` is the tier-1 gate every PR
+# must keep green; `make bench-smoke` is a one-iteration pass over the
+# perf-critical benchmarks so hot-path regressions (time or allocations)
+# are visible in CI logs, and `make bench` produces real numbers.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path micro-benchmarks with allocation reporting: NetworkStep and
+# ServerTick must stay at 0 allocs/op; Table3Parallel vs Table3Serial is
+# the batch-engine speedup (bit-identical results, wall time only).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkNetworkStep|BenchmarkServerTick|BenchmarkEngineThroughput|BenchmarkTable3Serial|BenchmarkTable3Parallel' -benchmem .
+
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+ci:
+	./scripts/ci.sh

@@ -1,0 +1,223 @@
+// Micro-benchmarks for the simulation hot paths. Unlike bench_test.go
+// (which reports experiment *results*), these measure engine *speed* and
+// allocation behavior: thermal.Network.Step and the per-tick server loop
+// must be zero-allocation after warm-up, and the Table III batch must
+// scale with worker count. Run with
+//
+//	go test -bench 'NetworkStep|ServerTick|EngineThroughput|Table3Serial|Table3Parallel' -benchmem
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// buildNetwork constructs an n-node star network (n-1 loaded nodes around
+// one ambient-coupled sink) shaped like the multicore scenarios.
+func buildNetwork(b *testing.B, n int) *thermal.Network {
+	b.Helper()
+	net, err := thermal.NewNetwork(n, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := n - 1
+	if err := net.SetCapacitance(sink, 500); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.ConnectAmbient(sink, 0.05); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < sink; i++ {
+		if err := net.SetCapacitance(i, 50); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Connect(i, sink, 0.5); err != nil {
+			b.Fatal(err)
+		}
+		net.SetLoad(i, 10)
+	}
+	return net
+}
+
+// BenchmarkNetworkStep measures the RK4 integrator at the two sizes the
+// repo exercises: the two-node server shape and a 16-node multicore
+// package. Zero allocs/op is the acceptance bar — the CSR neighbor list,
+// cached substep count, and preallocated scratch remove the per-call
+// make([]float64) and O(n²) conductance rescan.
+func BenchmarkNetworkStep(b *testing.B) {
+	for _, n := range []int{2, 16} {
+		b.Run(unitName("nodes", float64(n), ""), func(b *testing.B) {
+			net := buildNetwork(b, n)
+			if err := net.Step(1); err != nil { // compile + warm caches
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := net.Step(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkStepRetune measures Step with a per-call ConnectAmbient
+// retune, the multicore access pattern (fan speed changes every tick): the
+// O(n) time-constant refresh must not reintroduce allocations.
+func BenchmarkNetworkStepRetune(b *testing.B) {
+	net := buildNetwork(b, 16)
+	law := thermal.TableIHeatSinkLaw()
+	if err := net.Step(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := units.RPM(2000 + (i%2)*3000)
+		if err := net.ConnectAmbient(15, law.Resistance(v)); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Step(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// tickHarness is one warm Table III-shaped closed loop: full DTM stack,
+// noisy spiky workload, warm-started platform.
+type tickHarness struct {
+	server *sim.PhysicalServer
+	policy sim.Policy
+	gen    workload.Generator
+	tick   units.Seconds
+	prev   sim.TickResult
+	k      int
+}
+
+func newTickHarness(b *testing.B) *tickHarness {
+	b.Helper()
+	cfg := sim.Default()
+	cfg.Ambient = 33
+	pol, err := core.NewFullStack(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Tick, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spiky, err := workload.NewSpiky(noisy, workload.PeriodicSpikes(90, 150, 30, 1.0, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := sim.NewPhysicalServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := server.WarmStart(0.1, 1200); err != nil {
+		b.Fatal(err)
+	}
+	h := &tickHarness{server: server, policy: pol, gen: spiky, tick: cfg.Tick}
+	h.prev = sim.TickResult{Cap: 1, FanCmd: server.FanCommand(), FanActual: server.FanActual(), Measured: server.Junction()}
+	for i := 0; i < 300; i++ { // warm the sensor ring and controller state
+		h.step()
+	}
+	return h
+}
+
+// step is one engine tick: policy decision, actuation, platform tick.
+func (h *tickHarness) step() {
+	t := units.Seconds(float64(h.k) * float64(h.tick))
+	demand := h.gen.At(t)
+	cmd := h.policy.Step(sim.Observation{
+		T:         t,
+		Measured:  h.prev.Measured,
+		Demand:    demand,
+		Delivered: h.prev.Delivered,
+		Violated:  h.prev.Violated,
+		FanCmd:    h.server.FanCommand(),
+		FanActual: h.server.FanActual(),
+		Cap:       h.server.Cap(),
+	})
+	h.server.CommandFan(cmd.Fan)
+	h.server.SetCap(cmd.Cap)
+	h.prev = h.server.Tick(demand)
+	h.k++
+}
+
+// BenchmarkServerTick measures one closed-loop engine tick (full DTM
+// stack, measurement chain, thermal step, spiky noisy workload) after
+// warm-up. The acceptance bar is zero allocs/op.
+func BenchmarkServerTick(b *testing.B) {
+	h := newTickHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.step()
+	}
+}
+
+// BenchmarkEngineThroughput measures sim.Run end to end on a Table
+// III-shaped hour and reports ticks per wall second; allocations here
+// include the unavoidable per-run setup (traces off).
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Ambient = 33
+	noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Tick, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := core.NewFullStack(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 3600
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server, err := sim.NewPhysicalServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(server, sim.RunConfig{
+			Duration:  horizon,
+			Workload:  noisy,
+			Policy:    pol,
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(horizon*float64(b.N)/sec, "ticks/s")
+	}
+}
+
+// benchTable3 runs the Table III comparison at the given worker count.
+func benchTable3(b *testing.B, workers int) {
+	tc := experiments.DefaultTable3()
+	tc.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Serial pins the batch engine to one worker: the
+// sequential reference for the parallel speedup.
+func BenchmarkTable3Serial(b *testing.B) { benchTable3(b, 1) }
+
+// BenchmarkTable3Parallel lets the batch engine use every core. On an
+// m-core machine the five solutions land on five workers; compare against
+// BenchmarkTable3Serial for the speedup (results are bit-identical).
+func BenchmarkTable3Parallel(b *testing.B) { benchTable3(b, 0) }

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	experiments [fig1|fig3|fig4|fig5|table3|all] [-csv dir]
+//	experiments [fig1|fig3|fig4|fig5|table3|table3mc|all] [-csv dir] [-seeds n]
+//
+// Independent simulation runs inside each experiment execute in parallel
+// through the sim batch engine; table3mc additionally fans a Monte Carlo
+// seed sweep (-seeds) across all cores and reports mean ± stddev.
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"repro/internal/trace"
 )
 
+var mcSeeds = flag.Int("seeds", 8, "Monte Carlo seed count for table3mc")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
@@ -30,11 +36,12 @@ func main() {
 		which = flag.Arg(0)
 	}
 	run := map[string]func(string) error{
-		"fig1":   fig1,
-		"fig3":   fig3,
-		"fig4":   fig4,
-		"fig5":   fig5,
-		"table3": table3,
+		"fig1":     fig1,
+		"fig3":     fig3,
+		"fig4":     fig4,
+		"fig5":     fig5,
+		"table3":   table3,
+		"table3mc": table3mc,
 	}
 	if which == "all" {
 		for _, name := range []string{"fig1", "fig3", "fig4", "fig5", "table3"} {
@@ -46,7 +53,7 @@ func main() {
 	}
 	f, ok := run[which]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want fig1|fig3|fig4|fig5|table3|all)", which)
+		log.Fatalf("unknown experiment %q (want fig1|fig3|fig4|fig5|table3|table3mc|all)", which)
 	}
 	if err := f(*csvDir); err != nil {
 		log.Fatalf("%s: %v", which, err)
@@ -151,6 +158,27 @@ func table3(string) error {
 	for _, r := range res.Rows {
 		fmt.Printf("%-24s %12.2f %12.3f %10.0f %8.1f\n",
 			r.Name, r.ViolationPct, r.NormFanEnergy, float64(r.MeanFanSpeed), float64(r.MaxJunction))
+	}
+	fmt.Println()
+	return nil
+}
+
+func table3mc(string) error {
+	res, err := experiments.Table3MC(experiments.DefaultTable3(), *mcSeeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table III (Monte Carlo, %d seeds %d..%d) — mean ± stddev across seeds\n",
+		len(res.Seeds), res.Seeds[0], res.Seeds[len(res.Seeds)-1])
+	fmt.Printf("%-24s %18s %18s %14s %12s\n",
+		"Solution", "Violation(%)", "Norm.energy", "MeanFan", "Tmax")
+	for _, r := range res.Rows {
+		fmt.Printf("%-24s %10.2f ± %-5.2f %10.3f ± %-5.3f %8.0f ± %-4.0f %6.1f ± %-4.1f\n",
+			r.Name,
+			r.ViolationPct.Mean, r.ViolationPct.Std,
+			r.NormFanEnergy.Mean, r.NormFanEnergy.Std,
+			r.MeanFanSpeed.Mean, r.MeanFanSpeed.Std,
+			r.MaxJunction.Mean, r.MaxJunction.Std)
 	}
 	fmt.Println()
 	return nil

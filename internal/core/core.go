@@ -12,7 +12,9 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/coord"
+	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 	"repro/internal/units"
 )
 
@@ -190,6 +192,11 @@ type DTM struct {
 	ecoord   *coord.ECoord
 	setpoint *coord.SetpointScheduler
 	scaler   *coord.SingleStepScaler
+	// relCPU and relTherm are the cached models releaseSpeed queries; they
+	// are pure functions of the configuration, built once so boost
+	// releases stay allocation-free on the tick path.
+	relCPU   power.CPUModel
+	relTherm *thermal.Server
 
 	lastFan  units.Seconds
 	fanEver  bool
@@ -243,6 +250,12 @@ func NewDTM(name string, opt Options) (*DTM, error) {
 		return nil, err
 	}
 	d := &DTM{opt: opt, name: name, fan: fan, adaptive: adaptive, capper: capper}
+	if relCPU, _, err := opt.Config.Models(); err == nil {
+		d.relCPU = relCPU
+		if relTherm, err := opt.Config.ThermalModel(); err == nil {
+			d.relTherm = relTherm
+		}
+	}
 
 	if opt.Mode == EnergyAware {
 		cpu, fanModel, err := opt.Config.Models()
@@ -474,15 +487,10 @@ func (d *DTM) releaseSpeed(obs sim.Observation) units.RPM {
 			demand = obs.Demand
 		}
 	}
-	cpu, _, err := d.opt.Config.Models()
-	if err != nil {
+	if d.relTherm == nil {
 		return obs.FanCmd
 	}
-	tp, err := d.opt.Config.ThermalModel()
-	if err != nil {
-		return obs.FanCmd
-	}
-	v, err := tp.SpeedForJunction(d.fan.Reference(), cpu.Power(demand))
+	v, err := d.relTherm.SpeedForJunction(d.fan.Reference(), d.relCPU.Power(demand))
 	if err != nil {
 		return d.opt.Config.FanMaxSpeed
 	}

@@ -44,6 +44,10 @@ type TuneResult struct {
 // schedule. The set-point of each experiment is the plant's own
 // steady-state junction temperature at (util, speed), so the warm start
 // is an equilibrium and the pulse perturbation explores its neighborhood.
+//
+// Each region's experiment drives its own private plant, so the per-speed
+// tuning runs fan out across cores through the batch engine's ParallelFor;
+// results stay in speed order regardless of scheduling.
 func TuneRegions(cfg sim.Config, speeds []units.RPM, util units.Utilization,
 	fanPeriod units.Seconds, rule tuning.Rule) ([]TuneResult, error) {
 	if len(speeds) == 0 {
@@ -53,22 +57,26 @@ func TuneRegions(cfg sim.Config, speeds []units.RPM, util units.Utilization,
 	if err != nil {
 		return nil, err
 	}
-	out := make([]TuneResult, 0, len(speeds))
-	for _, v := range speeds {
+	out := make([]TuneResult, len(speeds))
+	errs := make([]error, len(speeds))
+	if err := sim.ParallelFor(len(speeds), 0, func(i int) {
+		v := speeds[i]
 		p := cpu.Power(util)
 		sink := thermal.SteadyState(cfg.Ambient, cfg.HeatSinkLaw.Resistance(v), p)
 		ref := thermal.SteadyState(sink, cfg.DieRes, p)
 
 		plant, err := sim.NewPlant(cfg, util, v, fanPeriod)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// Bracket the ultimate gain from the plant's local sensitivity:
 		// |dT/ds| at the operating point gives the static loop gain; the
 		// discrete boundary sits within a decade of its inverse.
 		sens := cfg.HeatSinkLaw.Sensitivity(v, p)
 		if sens >= 0 {
-			return nil, fmt.Errorf("core: non-negative plant sensitivity at %v", v)
+			errs[i] = fmt.Errorf("core: non-negative plant sensitivity at %v", v)
+			return
 		}
 		kuEstimate := 1 / -sens
 		znCfg := tuning.ZNConfig{
@@ -83,9 +91,17 @@ func TuneRegions(cfg sim.Config, speeds []units.RPM, util units.Utilization,
 		}
 		region, ult, err := tuning.TuneRegion(plant, znCfg, rule)
 		if err != nil {
-			return nil, fmt.Errorf("core: tuning at %v: %w", v, err)
+			errs[i] = fmt.Errorf("core: tuning at %v: %w", v, err)
+			return
 		}
-		out = append(out, TuneResult{Region: region, Ultimate: ult, RefTemp: ref})
+		out[i] = TuneResult{Region: region, Ultimate: ult, RefTemp: ref}
+	}); err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
 	}
 	return out, nil
 }

@@ -278,3 +278,89 @@ func TestFaultRobustness(t *testing.T) {
 		t.Errorf("protection engaged %.2f%% of the faulted run", res.Faulted.HWThrottleFrac*100)
 	}
 }
+
+// TestTable3ParallelMatchesSequential: the batch engine must not perturb
+// the table — any worker count produces bit-identical rows.
+func TestTable3ParallelMatchesSequential(t *testing.T) {
+	tc := DefaultTable3()
+	tc.Duration = 1200
+	tc.Workers = 1
+	seq, err := Table3(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5} {
+		tc.Workers = workers
+		par, err := Table3(tc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seq.Rows {
+			if par.Rows[i] != seq.Rows[i] {
+				t.Errorf("workers=%d row %d: parallel %+v != sequential %+v",
+					workers, i, par.Rows[i], seq.Rows[i])
+			}
+		}
+	}
+}
+
+// TestTable3MC: the Monte Carlo table aggregates per-seed draws; seed 0's
+// per-seed table must equal the plain single-seed table, the headline
+// qualitative ordering must hold on the means, and a multi-seed run must
+// show nonzero spread somewhere (the draws genuinely differ).
+func TestTable3MC(t *testing.T) {
+	tc := DefaultTable3()
+	tc.Duration = 1200
+	res, err := Table3MC(tc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 || len(res.PerSeed) != 3 || len(res.Seeds) != 3 {
+		t.Fatalf("shape: %d rows, %d per-seed, %d seeds", len(res.Rows), len(res.PerSeed), len(res.Seeds))
+	}
+	if res.Seeds[0] != tc.Seed || res.Seeds[2] != tc.Seed+2 {
+		t.Errorf("seeds = %v, want consecutive from %d", res.Seeds, tc.Seed)
+	}
+
+	single, err := Table3(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Rows {
+		if res.PerSeed[0].Rows[i] != single.Rows[i] {
+			t.Errorf("per-seed[0] row %d %+v != single-seed row %+v",
+				i, res.PerSeed[0].Rows[i], single.Rows[i])
+		}
+	}
+
+	// Baseline normalization holds per seed, so the mean is exactly 1
+	// with zero spread.
+	if base := res.Rows[0]; base.NormFanEnergy.Mean != 1 || base.NormFanEnergy.Std != 0 {
+		t.Errorf("baseline norm energy = %+v, want exactly 1 +- 0", base.NormFanEnergy)
+	}
+	anySpread := false
+	for _, row := range res.Rows {
+		if row.ViolationPct.Std > 0 || row.NormFanEnergy.Std > 0 {
+			anySpread = true
+		}
+		if row.ViolationPct.Std > row.ViolationPct.Mean {
+			t.Errorf("%s: stddev %.2f above mean %.2f — seeds wildly inconsistent",
+				row.Name, row.ViolationPct.Std, row.ViolationPct.Mean)
+		}
+	}
+	if !anySpread {
+		t.Error("three seeds produced zero spread everywhere; seeds not applied?")
+	}
+}
+
+// TestTable3MCValidation covers the error paths.
+func TestTable3MCValidation(t *testing.T) {
+	if _, err := Table3MC(DefaultTable3(), 0); err == nil {
+		t.Error("0 seeds accepted")
+	}
+	tc := DefaultTable3()
+	tc.Duration = -5
+	if _, err := Table3MC(tc, 2); err == nil {
+		t.Error("negative duration accepted")
+	}
+}

@@ -34,63 +34,75 @@ func DefaultFaults() FaultConfig {
 	return FaultConfig{Duration: 3600, StuckAt: 1800, StuckLen: 120, DropoutRate: 0.1, Seed: 5}
 }
 
-// Faults runs the robustness experiment.
+// Faults runs the robustness experiment: the clean and fault-injected
+// scenarios are independent runs, executed as one parallel batch. The
+// fault pipeline is assembled inside the job's ServerFactory so each run
+// owns its sensor chain.
 func Faults(fc FaultConfig) (*FaultResult, error) {
 	if fc.Duration <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration %v", fc.Duration)
 	}
-	run := func(inject bool) (sim.Metrics, error) {
-		cfg := DefaultConfig()
-		cfg.Ambient = 30
-		server, err := sim.NewPhysicalServer(cfg)
-		if err != nil {
-			return sim.Metrics{}, err
-		}
-		if inject {
+	cfg := DefaultConfig()
+	cfg.Ambient = 30
+
+	factory := func(inject bool) sim.ServerFactory {
+		return func() (*sim.PhysicalServer, error) {
+			server, err := sim.NewPhysicalServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !inject {
+				return server, nil
+			}
 			stuck, err := sensor.NewStuckAt(fc.StuckAt, fc.StuckAt+fc.StuckLen)
 			if err != nil {
-				return sim.Metrics{}, err
+				return nil, err
 			}
 			drop, err := sensor.NewDropout(fc.DropoutRate, fc.Seed)
 			if err != nil {
-				return sim.Metrics{}, err
+				return nil, err
 			}
 			base, err := sensor.New(cfg.Sensor)
 			if err != nil {
-				return sim.Metrics{}, err
+				return nil, err
 			}
 			// Faults sit on the firmware side of the chain: the clean
 			// physical chain feeds a wedged/congested transport.
 			if err := server.ReplaceSensor(sensor.NewPipeline(base, drop, stuck)); err != nil {
-				return sim.Metrics{}, err
+				return nil, err
 			}
+			return server, nil
 		}
+	}
+
+	noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Tick, fc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]sim.Job, 2)
+	for i, inject := range []bool{false, true} {
 		pol, err := core.NewFullStack(cfg)
 		if err != nil {
-			return sim.Metrics{}, err
+			return nil, err
 		}
-		noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Tick, fc.Seed)
-		if err != nil {
-			return sim.Metrics{}, err
+		name := "clean"
+		if inject {
+			name = "faulted"
 		}
-		res, err := sim.Run(server, sim.RunConfig{
-			Duration:  fc.Duration,
-			Workload:  noisy,
-			Policy:    pol,
-			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1500},
-		})
-		if err != nil {
-			return sim.Metrics{}, err
+		jobs[i] = sim.Job{
+			Name:   name,
+			Server: factory(inject),
+			Config: sim.RunConfig{
+				Duration:  fc.Duration,
+				Workload:  noisy,
+				Policy:    pol,
+				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1500},
+			},
 		}
-		return res.Metrics, nil
 	}
-	clean, err := run(false)
+	results, err := sim.RunBatch(jobs, sim.BatchOptions{})
 	if err != nil {
 		return nil, err
 	}
-	faulted, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return &FaultResult{Clean: clean, Faulted: faulted}, nil
+	return &FaultResult{Clean: results[0].Metrics, Faulted: results[1].Metrics}, nil
 }

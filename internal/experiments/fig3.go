@@ -104,13 +104,12 @@ func Fig3(fc Fig3Config) (*Fig3Result, error) {
 		return control.NewQuantGuard(inner, 1)
 	}
 
-	result := &Fig3Result{RefTemp: fc.RefTemp}
-	for _, v := range []Fig3Variant{Fixed2000, Fixed6000, Adaptive} {
+	// The three controller variants are independent closed-loop runs:
+	// fan them out through the batch engine, then post-process in order.
+	variants := []Fig3Variant{Fixed2000, Fixed6000, Adaptive}
+	jobs := make([]sim.Job, len(variants))
+	for i, v := range variants {
 		fan, err := build(v)
-		if err != nil {
-			return nil, err
-		}
-		server, err := newServer(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -118,16 +117,26 @@ func Fig3(fc Fig3Config) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(server, sim.RunConfig{
-			Duration:  units.Seconds(float64(fc.Period) * float64(fc.Cycles)),
-			Workload:  workload.PaperSquare(fc.Period),
-			Policy:    pol,
-			Record:    true,
-			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
-		})
-		if err != nil {
-			return nil, err
+		jobs[i] = sim.Job{
+			Name:   string(v),
+			Server: sim.Factory(cfg),
+			Config: sim.RunConfig{
+				Duration:  units.Seconds(float64(fc.Period) * float64(fc.Cycles)),
+				Workload:  workload.PaperSquare(fc.Period),
+				Policy:    pol,
+				Record:    true,
+				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+			},
 		}
+	}
+	results, err := sim.RunBatch(jobs, sim.BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &Fig3Result{RefTemp: fc.RefTemp}
+	for i, v := range variants {
+		res := results[i]
 		run := Fig3Run{Variant: v, Traces: res.Traces}
 
 		half := float64(fc.Period) / 2

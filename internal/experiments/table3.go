@@ -43,6 +43,10 @@ type Table3Config struct {
 	// capper stays a real actor for every scheme. At a cold inlet the
 	// fan pegs at its floor and the comparison degenerates.
 	Ambient units.Celsius
+	// Workers caps the batch engine's concurrency when running the five
+	// solutions (0 = GOMAXPROCS, 1 = sequential). Results are identical
+	// at any setting; only wall time changes.
+	Workers int
 }
 
 // DefaultTable3 returns the calibrated evaluation scenario: a 600 s
@@ -91,8 +95,63 @@ func buildWorkload(tc Table3Config, tick units.Seconds) (workload.Generator, err
 	return workload.NewSpiky(noisy, spikes)
 }
 
-// Table3 runs the five Table III solutions and normalizes fan energy to
-// the uncoordinated baseline (row 1).
+// table3Jobs builds one batch job per Table III solution against the given
+// workload: each job owns a fresh policy and (via the factory) a fresh
+// server, so the five runs are independent and safe to execute in parallel.
+func table3Jobs(cfg sim.Config, gen workload.Generator, duration units.Seconds) ([]sim.Job, []string, error) {
+	policies, err := core.TableIIISolutions(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	jobs := make([]sim.Job, len(policies))
+	names := make([]string, len(policies))
+	for i, pol := range policies {
+		names[i] = pol.Name()
+		jobs[i] = sim.Job{
+			Name:   pol.Name(),
+			Server: sim.Factory(cfg),
+			Config: sim.RunConfig{
+				Duration:  duration,
+				Workload:  gen,
+				Policy:    pol,
+				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+			},
+		}
+	}
+	return jobs, names, nil
+}
+
+// table3Rows folds batch results into the paper's table rows, normalizing
+// fan energy to the first (uncoordinated) row.
+func table3Rows(names []string, results []*sim.Result) []Table3Row {
+	rows := make([]Table3Row, 0, len(results))
+	var baseline units.Joule
+	for i, res := range results {
+		m := res.Metrics
+		if i == 0 {
+			baseline = m.FanEnergy
+		}
+		norm := 0.0
+		if baseline > 0 {
+			norm = float64(m.FanEnergy) / float64(baseline)
+		}
+		rows = append(rows, Table3Row{
+			Name:          names[i],
+			ViolationPct:  m.ViolationFrac * 100,
+			NormFanEnergy: norm,
+			FanEnergy:     m.FanEnergy,
+			HWThrottlePct: m.HWThrottleFrac * 100,
+			MaxJunction:   m.MaxJunction,
+			MeanFanSpeed:  m.MeanFanSpeed,
+		})
+	}
+	return rows
+}
+
+// Table3 runs the five Table III solutions through the parallel batch
+// engine and normalizes fan energy to the uncoordinated baseline (row 1).
+// The batch results are order-stable and bit-identical to the historical
+// sequential implementation.
 func Table3(tc Table3Config) (*Table3Result, error) {
 	if tc.Duration <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration %v", tc.Duration)
@@ -105,44 +164,13 @@ func Table3(tc Table3Config) (*Table3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	policies, err := core.TableIIISolutions(cfg)
+	jobs, names, err := table3Jobs(cfg, gen, tc.Duration)
 	if err != nil {
 		return nil, err
 	}
-
-	var rows []Table3Row
-	var baseline units.Joule
-	for i, pol := range policies {
-		server, err := newServer(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(server, sim.RunConfig{
-			Duration:  tc.Duration,
-			Workload:  gen,
-			Policy:    pol,
-			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
-		})
-		if err != nil {
-			return nil, err
-		}
-		m := res.Metrics
-		if i == 0 {
-			baseline = m.FanEnergy
-		}
-		norm := 0.0
-		if baseline > 0 {
-			norm = float64(m.FanEnergy) / float64(baseline)
-		}
-		rows = append(rows, Table3Row{
-			Name:          pol.Name(),
-			ViolationPct:  m.ViolationFrac * 100,
-			NormFanEnergy: norm,
-			FanEnergy:     m.FanEnergy,
-			HWThrottlePct: m.HWThrottleFrac * 100,
-			MaxJunction:   m.MaxJunction,
-			MeanFanSpeed:  m.MeanFanSpeed,
-		})
+	results, err := sim.RunBatch(jobs, sim.BatchOptions{Workers: tc.Workers})
+	if err != nil {
+		return nil, err
 	}
-	return &Table3Result{Rows: rows}, nil
+	return &Table3Result{Rows: table3Rows(names, results)}, nil
 }

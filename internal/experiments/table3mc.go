@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table3MC is the multi-seed Monte Carlo variant of Table III: the same
+// five solutions evaluated across N independent workload-noise seeds, with
+// every (seed, solution) pair fanned out through the parallel batch engine
+// in a single RunBatch call. It reports each solution's mean ± population
+// stddev across seeds, turning the paper's single-draw table into a
+// sampling distribution — one number per cell stops being a coin flip.
+//
+// Usage:
+//
+//	res, err := experiments.Table3MC(experiments.DefaultTable3(), 8)
+//	for _, row := range res.Rows {
+//	    fmt.Printf("%s: %.2f ± %.2f %%\n",
+//	        row.Name, row.ViolationPct.Mean, row.ViolationPct.Std)
+//	}
+//
+// Seeds are tc.Seed, tc.Seed+1, ..., tc.Seed+nSeeds-1. Fan energy is
+// normalized per seed against that seed's uncoordinated baseline before
+// aggregating, matching how the single-seed table is read.
+
+// MeanStd is a mean ± population standard deviation pair across seeds.
+type MeanStd struct {
+	Mean float64
+	Std  float64
+}
+
+// Table3MCRow aggregates one solution across the Monte Carlo seeds.
+type Table3MCRow struct {
+	Name          string
+	ViolationPct  MeanStd
+	NormFanEnergy MeanStd
+	HWThrottlePct MeanStd
+	MaxJunction   MeanStd // °C
+	MeanFanSpeed  MeanStd // rpm
+}
+
+// Table3MCResult is the aggregated comparison plus the per-seed tables.
+type Table3MCResult struct {
+	Seeds []int64
+	Rows  []Table3MCRow
+	// PerSeed holds the full single-seed tables in seed order, for
+	// callers that want the raw draws.
+	PerSeed []*Table3Result
+}
+
+// meanStd folds samples into a MeanStd (population stddev, like the rest
+// of the repo's statistics).
+func meanStd(xs []float64) MeanStd {
+	return MeanStd{Mean: stats.Mean(xs), Std: stats.StdDev(xs)}
+}
+
+// Table3MC runs the Table III comparison across nSeeds independent noise
+// seeds and aggregates mean ± stddev per solution. All seed × solution
+// runs execute as one batch, so on an m-core machine the wall time
+// approaches the single-seed cost times ceil(5·nSeeds/m)/5.
+func Table3MC(tc Table3Config, nSeeds int) (*Table3MCResult, error) {
+	if nSeeds < 1 {
+		return nil, fmt.Errorf("experiments: %d Monte Carlo seeds, want >= 1", nSeeds)
+	}
+	if tc.Duration <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive duration %v", tc.Duration)
+	}
+	cfg := DefaultConfig()
+	if tc.Ambient != 0 {
+		cfg.Ambient = tc.Ambient
+	}
+
+	// Assemble the flat job list: seeds × solutions, seed-major so result
+	// slot s*nSol+i is (seed s, solution i).
+	var jobs []sim.Job
+	var names []string
+	seeds := make([]int64, nSeeds)
+	nSol := 0
+	for s := 0; s < nSeeds; s++ {
+		seedCfg := tc
+		seedCfg.Seed = tc.Seed + int64(s)
+		seeds[s] = seedCfg.Seed
+		gen, err := buildWorkload(seedCfg, cfg.Tick)
+		if err != nil {
+			return nil, err
+		}
+		seedJobs, seedNames, err := table3Jobs(cfg, gen, tc.Duration)
+		if err != nil {
+			return nil, err
+		}
+		if s == 0 {
+			names = seedNames
+			nSol = len(seedJobs)
+		}
+		for i := range seedJobs {
+			seedJobs[i].Name = fmt.Sprintf("%s/seed=%d", seedJobs[i].Name, seedCfg.Seed)
+		}
+		jobs = append(jobs, seedJobs...)
+	}
+
+	results, err := sim.RunBatch(jobs, sim.BatchOptions{Workers: tc.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table3MCResult{Seeds: seeds}
+	perSol := make([][]Table3Row, nSol)
+	for s := 0; s < nSeeds; s++ {
+		rows := table3Rows(names, results[s*nSol:(s+1)*nSol])
+		out.PerSeed = append(out.PerSeed, &Table3Result{Rows: rows})
+		for i, r := range rows {
+			perSol[i] = append(perSol[i], r)
+		}
+	}
+	for i, rows := range perSol {
+		pick := func(f func(Table3Row) float64) MeanStd {
+			xs := make([]float64, len(rows))
+			for k, r := range rows {
+				xs[k] = f(r)
+			}
+			return meanStd(xs)
+		}
+		out.Rows = append(out.Rows, Table3MCRow{
+			Name:          names[i],
+			ViolationPct:  pick(func(r Table3Row) float64 { return r.ViolationPct }),
+			NormFanEnergy: pick(func(r Table3Row) float64 { return r.NormFanEnergy }),
+			HWThrottlePct: pick(func(r Table3Row) float64 { return r.HWThrottlePct }),
+			MaxJunction:   pick(func(r Table3Row) float64 { return float64(r.MaxJunction) }),
+			MeanFanSpeed:  pick(func(r Table3Row) float64 { return float64(r.MeanFanSpeed) }),
+		})
+	}
+	return out, nil
+}

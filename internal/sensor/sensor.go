@@ -80,10 +80,18 @@ func (q *Quantizer) Reset() {}
 // newest sample taken at or before t - Delay. It models the I2C/BMC
 // telemetry path of Fig. 1. Before any sample is old enough, the output
 // holds the configured initial value.
+//
+// Samples are kept in a ring buffer whose capacity stabilizes at about
+// delay/tick entries, so steady-state sampling performs zero heap
+// allocations — the engine calls Sample once per simulated tick.
 type DelayLine struct {
 	Delay   units.Seconds
 	Initial float64
-	buf     []timedSample
+	ring    []timedSample
+	head    int // index of the oldest queued sample
+	count   int // queued samples
+	cur     float64
+	curSet  bool
 }
 
 type timedSample struct {
@@ -100,30 +108,43 @@ func NewDelayLine(delay units.Seconds, initial float64) (*DelayLine, error) {
 	return &DelayLine{Delay: delay, Initial: initial}, nil
 }
 
+// push appends a sample to the ring, growing it only when full.
+func (d *DelayLine) push(s timedSample) {
+	if d.count == len(d.ring) {
+		grown := make([]timedSample, 2*len(d.ring)+4)
+		for i := 0; i < d.count; i++ {
+			grown[i] = d.ring[(d.head+i)%len(d.ring)]
+		}
+		d.ring = grown
+		d.head = 0
+	}
+	d.ring[(d.head+d.count)%len(d.ring)] = s
+	d.count++
+}
+
 // Sample implements Stage.
 func (d *DelayLine) Sample(t units.Seconds, v float64) float64 {
-	d.buf = append(d.buf, timedSample{t: t, v: v})
+	d.push(timedSample{t: t, v: v})
 	cutoff := t - d.Delay
-	// Drop entries strictly older than the newest one at/before cutoff;
-	// keep that one as the current output.
-	out := d.Initial
-	idx := -1
-	for i, s := range d.buf {
-		if s.t <= cutoff {
-			idx = i
-		} else {
-			break
-		}
+	// Pop every queued sample already visible at t; the newest of them is
+	// the current output and stays so until a younger one matures.
+	for d.count > 0 && d.ring[d.head].t <= cutoff {
+		d.cur = d.ring[d.head].v
+		d.curSet = true
+		d.head = (d.head + 1) % len(d.ring)
+		d.count--
 	}
-	if idx >= 0 {
-		out = d.buf[idx].v
-		d.buf = d.buf[idx:]
+	if !d.curSet {
+		return d.Initial
 	}
-	return out
+	return d.cur
 }
 
 // Reset implements Stage.
-func (d *DelayLine) Reset() { d.buf = nil }
+func (d *DelayLine) Reset() {
+	d.head, d.count = 0, 0
+	d.cur, d.curSet = 0, false
+}
 
 // GaussianNoise adds zero-mean Gaussian noise with the given standard
 // deviation, from a deterministic source.

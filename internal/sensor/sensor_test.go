@@ -140,8 +140,26 @@ func TestDelayLineBufferTrimming(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		d.Sample(units.Seconds(i)*0.1, float64(i))
 	}
-	if n := len(d.buf); n > 50 {
-		t.Errorf("buffer retained %d entries, trim failed", n)
+	if n := len(d.ring); n > 64 {
+		t.Errorf("ring grew to %d entries, trim failed", n)
+	}
+	if d.count > 50 {
+		t.Errorf("ring retained %d queued entries, trim failed", d.count)
+	}
+}
+
+func TestDelayLineSteadyStateAllocs(t *testing.T) {
+	d, _ := NewDelayLine(10, 25)
+	for i := 0; i < 100; i++ {
+		d.Sample(units.Seconds(i), float64(i)) // warm the ring capacity
+	}
+	next := units.Seconds(100)
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Sample(next, float64(next))
+		next++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Sample allocates %.1f times per call, want 0", allocs)
 	}
 }
 

@@ -7,6 +7,12 @@
 // of Table I); the policy under test decides the fan speed and CPU cap at
 // its own cadence and the platform applies them through a slew-limited fan
 // actuator.
+//
+// The tick loop is allocation-free after warm-up, and independent runs
+// (solution comparisons, seed sweeps, tuning experiments) execute
+// concurrently through the batch engine — see RunBatch, ParallelFor and
+// Sweep in batch.go. Batch results are order-stable and bit-identical to
+// sequential execution.
 package sim
 
 import (

@@ -96,10 +96,11 @@ func Run(server *PhysicalServer, rc RunConfig) (*Result, error) {
 	nTicks := int(float64(rc.Duration) / float64(server.cfg.Tick))
 	for k := 0; k < nTicks; k++ {
 		t := units.Seconds(float64(k) * float64(server.cfg.Tick))
+		demand := rc.Workload.At(t)
 		cmd := rc.Policy.Step(Observation{
 			T:         t,
 			Measured:  prev.Measured,
-			Demand:    rc.Workload.At(t),
+			Demand:    demand,
 			Delivered: prev.Delivered,
 			Violated:  prev.Violated,
 			FanCmd:    server.FanCommand(),
@@ -108,7 +109,7 @@ func Run(server *PhysicalServer, rc RunConfig) (*Result, error) {
 		})
 		server.CommandFan(cmd.Fan)
 		server.SetCap(cmd.Cap)
-		res := server.Tick(rc.Workload.At(t))
+		res := server.Tick(demand)
 		prev = res
 
 		if res.Violated {

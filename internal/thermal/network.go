@@ -16,6 +16,12 @@ import (
 // integrated with classic RK4. The two-node Server model is a special case;
 // the tests cross-validate the fast exponential stepping against this
 // general integrator, and multi-core scenarios use it directly.
+//
+// Step is allocation-free after the first call: the coupling matrix is
+// compiled into a flat CSR-style neighbor list so derivatives costs
+// O(edges) instead of O(n²), and the RK4 substep count (a function of the
+// smallest node time constant) is cached and recomputed only when the
+// topology, a capacitance, or a conductance changes — not on every Step.
 type Network struct {
 	n        int
 	names    []string
@@ -23,12 +29,23 @@ type Network struct {
 	temps    []units.Celsius
 	ambient  units.Celsius
 	ambCond  []float64   // conductance to ambient per node (1/R), 0 = none
-	cond     [][]float64 // symmetric node-to-node conductances
+	cond     [][]float64 // symmetric node-to-node conductances (source of truth)
 	loads    []units.Watt
 	deriv    []float64 // scratch buffers for RK4
 	k1, k2   []float64
 	k3, k4   []float64
+	tmp      []float64
 	tempsBuf []float64
+
+	// Compiled hot-path state, rebuilt lazily from cond/caps/ambCond.
+	invCaps  []float64 // 1 / C_i
+	nbrStart []int     // CSR row offsets into nbrIdx/nbrG (len n+1)
+	nbrIdx   []int     // neighbor node indices
+	nbrG     []float64 // neighbor conductances
+	rowG     []float64 // Σ_j cond[i][j], for O(n) time-constant refresh
+	tauMin   float64   // cached smallest C_i / G_i
+	csrDirty bool      // node-to-node topology or conductance changed
+	tauDirty bool      // any quantity feeding tauMin changed
 }
 
 // NewNetwork creates a network of n isolated nodes at the given ambient
@@ -52,11 +69,18 @@ func NewNetwork(n int, ambient units.Celsius) (*Network, error) {
 		k2:       make([]float64, n),
 		k3:       make([]float64, n),
 		k4:       make([]float64, n),
+		tmp:      make([]float64, n),
 		tempsBuf: make([]float64, n),
+		invCaps:  make([]float64, n),
+		nbrStart: make([]int, n+1),
+		rowG:     make([]float64, n),
+		csrDirty: true,
+		tauDirty: true,
 	}
 	for i := 0; i < n; i++ {
 		net.names[i] = fmt.Sprintf("node%d", i)
 		net.caps[i] = 1
+		net.invCaps[i] = 1
 		net.temps[i] = ambient
 		net.cond[i] = make([]float64, n)
 	}
@@ -79,6 +103,8 @@ func (net *Network) SetCapacitance(i int, c units.JPerK) error {
 		return fmt.Errorf("thermal: non-positive capacitance %v for node %d", c, i)
 	}
 	net.caps[i] = c
+	net.invCaps[i] = 1 / float64(c)
+	net.tauDirty = true
 	return nil
 }
 
@@ -94,16 +120,24 @@ func (net *Network) Connect(i, j int, r units.KPerW) error {
 	g := 1 / float64(r)
 	net.cond[i][j] = g
 	net.cond[j][i] = g
+	net.csrDirty = true
+	net.tauDirty = true
 	return nil
 }
 
 // ConnectAmbient couples node i to ambient with resistance r. The sink
-// node's ambient resistance is updated every step as the fan speed changes.
+// node's ambient resistance is updated every step as the fan speed changes;
+// only the (cheap, O(n)) time-constant cache is refreshed for it, not the
+// neighbor list.
 func (net *Network) ConnectAmbient(i int, r units.KPerW) error {
 	if r <= 0 {
 		return fmt.Errorf("thermal: non-positive ambient resistance %v for node %d", r, i)
 	}
-	net.ambCond[i] = 1 / float64(r)
+	g := 1 / float64(r)
+	if g != net.ambCond[i] {
+		net.ambCond[i] = g
+		net.tauDirty = true
+	}
 	return nil
 }
 
@@ -122,20 +156,76 @@ func (net *Network) Ambient() units.Celsius { return net.ambient }
 // SetAmbient changes the ambient temperature.
 func (net *Network) SetAmbient(t units.Celsius) { net.ambient = t }
 
+// compile rebuilds the CSR neighbor list and per-row conductance sums from
+// the dense coupling matrix. Called lazily; the scratch slices are reused
+// so steady-state stepping allocates only when the edge count grows.
+func (net *Network) compile() {
+	edges := 0
+	for i := 0; i < net.n; i++ {
+		for j := 0; j < net.n; j++ {
+			if net.cond[i][j] != 0 {
+				edges++
+			}
+		}
+	}
+	if cap(net.nbrIdx) < edges {
+		net.nbrIdx = make([]int, edges)
+		net.nbrG = make([]float64, edges)
+	}
+	net.nbrIdx = net.nbrIdx[:edges]
+	net.nbrG = net.nbrG[:edges]
+	k := 0
+	for i := 0; i < net.n; i++ {
+		net.nbrStart[i] = k
+		sum := 0.0
+		for j := 0; j < net.n; j++ {
+			if g := net.cond[i][j]; g != 0 {
+				net.nbrIdx[k] = j
+				net.nbrG[k] = g
+				sum += g
+				k++
+			}
+		}
+		net.rowG[i] = sum
+	}
+	net.nbrStart[net.n] = k
+	net.csrDirty = false
+}
+
+// refreshTau recomputes the cached smallest time constant from the compiled
+// row sums in O(n).
+func (net *Network) refreshTau() {
+	minTau := 1e18
+	for i := 0; i < net.n; i++ {
+		g := net.rowG[i] + net.ambCond[i]
+		if g == 0 {
+			continue
+		}
+		tau := float64(net.caps[i]) / g
+		if tau < minTau {
+			minTau = tau
+		}
+	}
+	if minTau == 1e18 {
+		minTau = 1 // fully disconnected network: any step is exact
+	}
+	net.tauMin = minTau
+	net.tauDirty = false
+}
+
 // derivatives fills out with dT/dt for the state in temps.
 func (net *Network) derivatives(temps, out []float64) {
+	amb := float64(net.ambient)
 	for i := 0; i < net.n; i++ {
 		q := float64(net.loads[i])
 		ti := temps[i]
-		for j := 0; j < net.n; j++ {
-			if g := net.cond[i][j]; g != 0 {
-				q += (temps[j] - ti) * g
-			}
+		for k := net.nbrStart[i]; k < net.nbrStart[i+1]; k++ {
+			q += (temps[net.nbrIdx[k]] - ti) * net.nbrG[k]
 		}
 		if g := net.ambCond[i]; g != 0 {
-			q += (float64(net.ambient) - ti) * g
+			q += (amb - ti) * g
 		}
-		out[i] = q / float64(net.caps[i])
+		out[i] = q * net.invCaps[i]
 	}
 }
 
@@ -146,19 +236,24 @@ func (net *Network) Step(dt units.Seconds) error {
 	if dt <= 0 {
 		return fmt.Errorf("thermal: non-positive step %v", dt)
 	}
+	if net.csrDirty {
+		net.compile()
+	}
+	if net.tauDirty {
+		net.refreshTau()
+	}
 	// Subdivide: RK4 is stable up to roughly dt ~ 2.8*tau_min; stay well
 	// under at tau_min/4 for accuracy.
-	tauMin := net.minTimeConstant()
 	sub := 1
-	if h := float64(dt); h > tauMin/4 {
-		sub = int(h/(tauMin/4)) + 1
+	if h := float64(dt); h > net.tauMin/4 {
+		sub = int(h/(net.tauMin/4)) + 1
 	}
 	h := float64(dt) / float64(sub)
 	x := net.tempsBuf
 	for i := range net.temps {
 		x[i] = float64(net.temps[i])
 	}
-	tmp := make([]float64, net.n)
+	tmp := net.tmp
 	for s := 0; s < sub; s++ {
 		net.derivatives(x, net.k1)
 		for i := range tmp {
@@ -186,24 +281,13 @@ func (net *Network) Step(dt units.Seconds) error {
 // minTimeConstant returns the smallest C_i / G_i over nodes with any
 // conductance, used to pick the RK4 substep.
 func (net *Network) minTimeConstant() float64 {
-	minTau := 1e18
-	for i := 0; i < net.n; i++ {
-		g := net.ambCond[i]
-		for j := 0; j < net.n; j++ {
-			g += net.cond[i][j]
-		}
-		if g == 0 {
-			continue
-		}
-		tau := float64(net.caps[i]) / g
-		if tau < minTau {
-			minTau = tau
-		}
+	if net.csrDirty {
+		net.compile()
 	}
-	if minTau == 1e18 {
-		return 1 // fully disconnected network: any step is exact
+	if net.tauDirty {
+		net.refreshTau()
 	}
-	return minTau
+	return net.tauMin
 }
 
 // SteadyState solves the linear steady-state system (dT/dt = 0) by
@@ -211,6 +295,9 @@ func (net *Network) minTimeConstant() float64 {
 // iteration fails to converge, which indicates a node with no path to
 // ambient carrying nonzero load.
 func (net *Network) SteadyState() ([]units.Celsius, error) {
+	if net.csrDirty {
+		net.compile()
+	}
 	x := make([]float64, net.n)
 	for i := range x {
 		x[i] = float64(net.temps[i])
@@ -220,13 +307,10 @@ func (net *Network) SteadyState() ([]units.Celsius, error) {
 	for iter := 0; iter < maxIter; iter++ {
 		maxDelta := 0.0
 		for i := 0; i < net.n; i++ {
-			g := net.ambCond[i]
+			g := net.ambCond[i] + net.rowG[i]
 			rhs := float64(net.loads[i]) + net.ambCond[i]*float64(net.ambient)
-			for j := 0; j < net.n; j++ {
-				if c := net.cond[i][j]; c != 0 {
-					g += c
-					rhs += c * x[j]
-				}
+			for k := net.nbrStart[i]; k < net.nbrStart[i+1]; k++ {
+				rhs += net.nbrG[k] * x[net.nbrIdx[k]]
 			}
 			if g == 0 {
 				if net.loads[i] != 0 {

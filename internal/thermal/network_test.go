@@ -235,3 +235,97 @@ func TestNetworkSetters(t *testing.T) {
 		t.Error("SetAmbient did not take")
 	}
 }
+
+// TestNetworkCacheInvalidation: mutating topology, capacitance, or an
+// ambient coupling after stepping must produce the same trajectory as a
+// fresh network built in the final configuration — the compiled neighbor
+// list and cached substep count may never serve stale values.
+func TestNetworkCacheInvalidation(t *testing.T) {
+	build := func() *Network {
+		net, err := NewNetwork(3, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustOK(t, net.SetCapacitance(0, 10))
+		mustOK(t, net.SetCapacitance(1, 20))
+		mustOK(t, net.SetCapacitance(2, 200))
+		mustOK(t, net.Connect(0, 2, 0.5))
+		mustOK(t, net.ConnectAmbient(2, 0.1))
+		net.SetLoad(0, 50)
+		return net
+	}
+
+	// Mutated path: step (compiling the caches), then rewire.
+	net := build()
+	for i := 0; i < 20; i++ {
+		mustOK(t, net.Step(1))
+	}
+	mustOK(t, net.Connect(1, 2, 0.25))     // new edge after stepping
+	mustOK(t, net.SetCapacitance(0, 2))    // much stiffer node
+	mustOK(t, net.ConnectAmbient(2, 0.05)) // stronger ambient coupling
+
+	// Fresh path: identical final configuration, state forced to match.
+	fresh := build()
+	mustOK(t, fresh.Connect(1, 2, 0.25))
+	mustOK(t, fresh.SetCapacitance(0, 2))
+	mustOK(t, fresh.ConnectAmbient(2, 0.05))
+	for i := 0; i < 3; i++ {
+		fresh.SetTemperature(i, net.Temperature(i))
+	}
+
+	for i := 0; i < 50; i++ {
+		mustOK(t, net.Step(1))
+		mustOK(t, fresh.Step(1))
+	}
+	for i := 0; i < 3; i++ {
+		if got, want := float64(net.Temperature(i)), float64(fresh.Temperature(i)); got != want {
+			t.Errorf("node %d: mutated-network temperature %v != fresh-network %v (stale cache?)", i, got, want)
+		}
+	}
+}
+
+// TestNetworkStepZeroAlloc: after the first Step compiles the neighbor
+// list, stepping must not allocate — including under the multicore access
+// pattern where the sink's ambient resistance is retuned every step.
+func TestNetworkStepZeroAlloc(t *testing.T) {
+	net, err := NewNetwork(8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		mustOK(t, net.SetCapacitance(i, 50))
+		mustOK(t, net.Connect(i, 7, 0.5))
+		net.SetLoad(i, 10)
+	}
+	mustOK(t, net.SetCapacitance(7, 500))
+	mustOK(t, net.ConnectAmbient(7, 0.05))
+	mustOK(t, net.Step(1)) // compile + warm caches
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := net.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Step allocates %.1f times per call, want 0", allocs)
+	}
+
+	r := 0.05
+	if allocs := testing.AllocsPerRun(200, func() {
+		r = 0.11 - r // alternate 0.05/0.06 so the tau cache refreshes
+		if err := net.ConnectAmbient(7, units.KPerW(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("retune+Step allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

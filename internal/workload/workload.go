@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -153,9 +154,22 @@ type Spike struct {
 // Spiky overlays deterministic spikes on a base generator: during a spike
 // the demand is max(base, spike level). The single-step fan scaling
 // experiment uses it to model the abrupt load surges of [20].
+//
+// NewSpiky precompiles the (possibly overlapping) spikes into a sorted
+// piecewise-constant schedule of boundary times and active max levels, so
+// At is an allocation-free O(log n) binary search instead of a per-tick
+// scan over every spike — Table III queries the generator once per
+// simulated second for hours.
 type Spiky struct {
 	Base   Generator
 	Spikes []Spike
+
+	// Compiled schedule: segT[k] begins a segment where the strongest
+	// active spike level is segLevel[k]; the segment ends at segT[k+1]
+	// (the last segment has level 0 and extends to infinity). Empty for a
+	// zero-value Spiky, in which case At falls back to scanning Spikes.
+	segT     []units.Seconds
+	segLevel []units.Utilization
 }
 
 // NewSpiky validates and builds a spike overlay.
@@ -171,7 +185,44 @@ func NewSpiky(base Generator, spikes []Spike) (*Spiky, error) {
 			return nil, fmt.Errorf("workload: spike %d level %v outside [0, 1]", i, s.Level)
 		}
 	}
-	return &Spiky{Base: base, Spikes: spikes}, nil
+	sp := &Spiky{Base: base, Spikes: spikes}
+	sp.compile()
+	return sp, nil
+}
+
+// compile builds the sorted segment schedule from the spike list.
+func (s *Spiky) compile() {
+	if len(s.Spikes) == 0 {
+		s.segT, s.segLevel = nil, nil
+		return
+	}
+	// Collect the segment boundaries: every spike start and end.
+	bounds := make([]units.Seconds, 0, 2*len(s.Spikes))
+	for _, sp := range s.Spikes {
+		bounds = append(bounds, sp.Start, sp.Start+sp.Duration)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	// For each segment [uniq[k], uniq[k+1]) record the strongest level of
+	// any covering spike; the final boundary opens an unbounded level-0
+	// segment. Construction cost is O(spikes × segments), paid once.
+	s.segT = uniq
+	s.segLevel = make([]units.Utilization, len(uniq))
+	for k := 0; k < len(uniq)-1; k++ {
+		at := uniq[k]
+		level := units.Utilization(0)
+		for _, sp := range s.Spikes {
+			if at >= sp.Start && at < sp.Start+sp.Duration && sp.Level > level {
+				level = sp.Level
+			}
+		}
+		s.segLevel[k] = level
+	}
 }
 
 // PeriodicSpikes builds count spikes of the given level and duration,
@@ -191,10 +242,30 @@ func PeriodicSpikes(first, interval, duration units.Seconds, level units.Utiliza
 // At implements Generator.
 func (s *Spiky) At(t units.Seconds) units.Utilization {
 	u := s.Base.At(t)
-	for _, sp := range s.Spikes {
-		if t >= sp.Start && t < sp.Start+sp.Duration && sp.Level > u {
-			u = sp.Level
+	if s.segT == nil {
+		// Zero-value construction without NewSpiky: scan directly.
+		for _, sp := range s.Spikes {
+			if t >= sp.Start && t < sp.Start+sp.Duration && sp.Level > u {
+				u = sp.Level
+			}
 		}
+		return u
+	}
+	if t < s.segT[0] {
+		return u
+	}
+	// Binary search for the last boundary at or before t.
+	lo, hi := 0, len(s.segT)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.segT[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if level := s.segLevel[lo-1]; level > u {
+		u = level
 	}
 	return u
 }

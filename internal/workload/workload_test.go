@@ -307,3 +307,51 @@ func TestGeneratorsAlwaysInRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSpikyScheduleMatchesScan(t *testing.T) {
+	// Overlapping spikes of different levels, including exact-boundary and
+	// nested intervals: the compiled segment schedule must agree with the
+	// naive per-spike scan at every boundary and interior instant.
+	spikes := []Spike{
+		{Start: 10, Duration: 20, Level: 0.6},
+		{Start: 15, Duration: 30, Level: 0.9},
+		{Start: 18, Duration: 4, Level: 0.7},
+		{Start: 45, Duration: 5, Level: 1.0},
+		{Start: 50, Duration: 5, Level: 0.5},
+		{Start: 200, Duration: 1, Level: 0.8},
+	}
+	base := Constant{U: 0.2}
+	sp, err := NewSpiky(base, spikes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := func(tm units.Seconds) units.Utilization {
+		u := base.At(tm)
+		for _, s := range spikes {
+			if tm >= s.Start && tm < s.Start+s.Duration && s.Level > u {
+				u = s.Level
+			}
+		}
+		return u
+	}
+	for tm := units.Seconds(0); tm < 220; tm += 0.25 {
+		if got, want := sp.At(tm), naive(tm); got != want {
+			t.Fatalf("At(%v) = %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestSpikyAtAllocationFree(t *testing.T) {
+	sp, err := NewSpiky(Constant{U: 0.1}, PeriodicSpikes(5, 30, 10, 0.9, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := units.Seconds(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp.At(tm)
+		tm++
+	})
+	if allocs != 0 {
+		t.Errorf("Spiky.At allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 CI gate: vet, build, race-enabled tests, then a one-iteration
+# benchmark smoke pass so perf or allocation regressions on the hot paths
+# show up in the log of every PR (the -benchtime 1x pass is about
+# compiling and exercising the benchmarks, not statistics).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run xxx -bench . -benchtime 1x -benchmem .
