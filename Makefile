@@ -21,11 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Hot-path micro-benchmarks with allocation reporting: NetworkStep and
-# ServerTick must stay at 0 allocs/op; Table3Parallel vs Table3Serial is
-# the batch-engine speedup (bit-identical results, wall time only).
+# Hot-path micro-benchmarks with allocation reporting: NetworkStep,
+# ServerTick and MulticoreTick must stay at 0 allocs/op; Table3Parallel vs
+# Table3Serial is the batch-engine speedup (bit-identical results, wall
+# time only).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkNetworkStep|BenchmarkServerTick|BenchmarkEngineThroughput|BenchmarkTable3Serial|BenchmarkTable3Parallel' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkNetworkStep|BenchmarkServerTick|BenchmarkMulticoreTick|BenchmarkMulticoreRunHour|BenchmarkEngineThroughput|BenchmarkTable3Serial|BenchmarkTable3Parallel|BenchmarkFleet' -benchmem .
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .

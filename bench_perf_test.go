@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/multicore"
 	"repro/internal/sim"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -221,3 +223,85 @@ func BenchmarkTable3Serial(b *testing.B) { benchTable3(b, 1) }
 // m-core machine the five solutions land on five workers; compare against
 // BenchmarkTable3Serial for the speedup (results are bit-identical).
 func BenchmarkTable3Parallel(b *testing.B) { benchTable3(b, 0) }
+
+// newMulticoreHarness returns a warm four-core platform and a balanced
+// utilization vector for per-tick measurement.
+func newMulticoreHarness(b *testing.B) (*multicore.Server, []units.Utilization) {
+	b.Helper()
+	cfg := multicore.DefaultConfig()
+	server, err := multicore.NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server.CommandFan(4000)
+	util := multicore.SplitEven(0.6, cfg.NCore)
+	for i := 0; i < 200; i++ { // grow the per-core sensor rings
+		if _, err := server.Tick(util); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return server, util
+}
+
+// BenchmarkMulticoreTick measures one N-core platform tick (thermal
+// network step, per-core measurement chains, fan slew) after warm-up. The
+// acceptance bar is zero allocs/op: TickResult reuses per-server scratch.
+func BenchmarkMulticoreTick(b *testing.B) {
+	server, util := newMulticoreHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Tick(util); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulticoreRunHour measures the three-controller scenario end to
+// end on an hour horizon; allocations are per-run setup (server,
+// controllers, result) plus nothing per tick — the loop's bookkeeping
+// (scheduler proposals, fan history, core splits) is preallocated.
+func BenchmarkMulticoreRunHour(b *testing.B) {
+	cfg := multicore.DefaultConfig()
+	cfg.Base.Ambient = 30
+	noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Base.Tick, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multicore.Run(multicore.RunConfig{
+			Config:     cfg,
+			Duration:   3600,
+			Workload:   noisy,
+			Coordinate: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetRun measures a recirculation-coupled 8-node rack (two
+// whole-rack passes) end to end; compare Workers=1 vs Workers=0 for the
+// fleet-level batch speedup on multicore hosts (results bit-identical).
+func BenchmarkFleetRun(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		b.Run(unitName("workers", float64(workers), ""), func(b *testing.B) {
+			cfg, err := fleet.NewRack(8, nil, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Duration = 900
+			cfg.Recirc = 0.01
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

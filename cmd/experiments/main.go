@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	experiments [fig1|fig3|fig4|fig5|table3|table3mc|all] [-csv dir] [-seeds n]
+//	experiments [fig1|fig3|fig4|fig5|table3|table3mc|fleet|fleetsweep|all] [-csv dir] [-seeds n]
 //
 // Independent simulation runs inside each experiment execute in parallel
 // through the sim batch engine; table3mc additionally fans a Monte Carlo
 // seed sweep (-seeds) across all cores and reports mean ± stddev.
+//
+// fleet simulates a rack of heterogeneous servers coupled through a
+// shared inlet-temperature field (-nodes, -layout, -seed, -spread,
+// -recirc, -workers, -duration); fleetsweep spans rack size × inlet
+// spread (-sizes, -spreads) and tabulates one row per grid point.
 package main
 
 import (
@@ -18,12 +23,28 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
-var mcSeeds = flag.Int("seeds", 8, "Monte Carlo seed count for table3mc")
+var (
+	mcSeeds = flag.Int("seeds", 8, "Monte Carlo seed count for table3mc")
+
+	fleetNodes    = flag.Int("nodes", 6, "fleet: rack size")
+	fleetLayout   = flag.String("layout", "cold,mid,hot", "fleet: aisle assignment pattern, cycled over nodes")
+	fleetSeed     = flag.Int64("seed", 1, "fleet: root seed for per-node workload streams")
+	fleetWorkers  = flag.Int("workers", 0, "fleet: batch worker cap (0 = all cores; results identical)")
+	fleetRecirc   = flag.Float64("recirc", 0.01, "fleet: inlet rise per watt of upstream mean power (K/W)")
+	fleetSpread   = flag.Float64("spread", 8, "fleet: hot-aisle inlet offset over supply (mid = half)")
+	fleetDuration = flag.Float64("duration", 3600, "fleet: per-node horizon in seconds")
+	sweepSizes    = flag.String("sizes", "2,4,8", "fleetsweep: rack sizes")
+	sweepSpreads  = flag.String("spreads", "0,4,8", "fleetsweep: hot-aisle inlet spreads (°C)")
+)
 
 func main() {
 	log.SetFlags(0)
@@ -34,14 +55,19 @@ func main() {
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
+		// Flag parsing stops at the subcommand word; re-parse the rest so
+		// "experiments fleet -nodes 8" works as the usage line promises.
+		_ = flag.CommandLine.Parse(flag.Args()[1:])
 	}
 	run := map[string]func(string) error{
-		"fig1":     fig1,
-		"fig3":     fig3,
-		"fig4":     fig4,
-		"fig5":     fig5,
-		"table3":   table3,
-		"table3mc": table3mc,
+		"fig1":       fig1,
+		"fig3":       fig3,
+		"fig4":       fig4,
+		"fig5":       fig5,
+		"table3":     table3,
+		"table3mc":   table3mc,
+		"fleet":      fleetRack,
+		"fleetsweep": fleetSweep,
 	}
 	if which == "all" {
 		for _, name := range []string{"fig1", "fig3", "fig4", "fig5", "table3"} {
@@ -53,7 +79,7 @@ func main() {
 	}
 	f, ok := run[which]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want fig1|fig3|fig4|fig5|table3|table3mc|all)", which)
+		log.Fatalf("unknown experiment %q (want fig1|fig3|fig4|fig5|table3|table3mc|fleet|fleetsweep|all)", which)
 	}
 	if err := f(*csvDir); err != nil {
 		log.Fatalf("%s: %v", which, err)
@@ -179,6 +205,147 @@ func table3mc(string) error {
 			r.NormFanEnergy.Mean, r.NormFanEnergy.Std,
 			r.MeanFanSpeed.Mean, r.MeanFanSpeed.Std,
 			r.MaxJunction.Mean, r.MaxJunction.Std)
+	}
+	fmt.Println()
+	return nil
+}
+
+// parseLayout maps a comma-separated aisle pattern ("cold,mid,hot") to
+// the fleet layout cycled over rack positions.
+func parseLayout(s string) ([]fleet.Aisle, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil // fleet.NewRack's default
+	}
+	var layout []fleet.Aisle
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "cold", "c":
+			layout = append(layout, fleet.Cold)
+		case "mid", "m":
+			layout = append(layout, fleet.Mid)
+		case "hot", "h":
+			layout = append(layout, fleet.Hot)
+		default:
+			return nil, fmt.Errorf("unknown aisle %q in layout (want cold|mid|hot)", part)
+		}
+	}
+	return layout, nil
+}
+
+// parseFloats maps a comma-separated list to floats.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// buildFleet assembles the rack from the fleet flags at the given size
+// and hot-aisle spread.
+func buildFleet(n int, spread float64) (fleet.Config, error) {
+	layout, err := parseLayout(*fleetLayout)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	cfg, err := fleet.NewRack(n, layout, *fleetSeed)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	cfg.AisleOffsets = [fleet.NumAisles]units.Celsius{
+		fleet.Cold: 0,
+		fleet.Mid:  units.Celsius(spread / 2),
+		fleet.Hot:  units.Celsius(spread),
+	}
+	cfg.Recirc = units.KPerW(*fleetRecirc)
+	cfg.Duration = units.Seconds(*fleetDuration)
+	cfg.Workers = *fleetWorkers
+	return cfg, nil
+}
+
+func fleetRack(string) error {
+	cfg, err := buildFleet(*fleetNodes, *fleetSpread)
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fleet — %d-node rack, %.0f s horizon, shared inlet field (spread %.1f °C, recirc %.3f K/W, %d pass(es))\n\n",
+		len(res.Nodes), float64(cfg.Duration), *fleetSpread, *fleetRecirc, res.Passes)
+	fmt.Printf("%-10s %6s %4s %9s %12s %12s %10s %8s\n",
+		"node", "aisle", "slot", "inlet(°C)", "violation(%)", "fanE(kJ)", "meanFan", "Tmax")
+	for _, n := range res.Nodes {
+		m := n.Metrics
+		fmt.Printf("%-10s %6s %4d %9.1f %12.2f %12.2f %10.0f %8.1f\n",
+			n.Name, n.Aisle, n.Slot, float64(n.Inlet), m.ViolationFrac*100,
+			float64(m.FanEnergy)/1000, float64(m.MeanFanSpeed), float64(m.MaxJunction))
+	}
+	fmt.Printf("\nper aisle:\n")
+	for a, am := range res.Aisles {
+		if am.Nodes == 0 {
+			continue
+		}
+		fmt.Printf("  %-5s %d node(s): mean inlet %.1f °C, %.2f%% violations, %.1f kJ fan, Tmax %.1f °C\n",
+			fleet.Aisle(a), am.Nodes, float64(am.MeanInlet), am.ViolationFrac*100,
+			float64(am.FanEnergy)/1000, float64(am.MaxJunction))
+	}
+	fmt.Printf("\nrack: %.2f%% violations, fan %.1f kJ (%.2f%% of %.1f kJ total), Tmax %.1f °C\n",
+		res.ViolationFrac*100, float64(res.FanEnergy)/1000, res.FanEnergyShare*100,
+		float64(res.TotalEnergy)/1000, float64(res.MaxJunction))
+	fmt.Printf("rack power: peak %.0f W, mean %.0f W\n\n",
+		float64(res.PeakRackPower), float64(res.MeanRackPower))
+	return nil
+}
+
+func fleetSweep(string) error {
+	var sizes []int
+	for _, part := range strings.Split(*sweepSizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -sizes: %w", err)
+		}
+		sizes = append(sizes, v)
+	}
+	spreadF, err := parseFloats(*sweepSpreads)
+	if err != nil {
+		return fmt.Errorf("bad -spreads: %w", err)
+	}
+	spreads := make([]units.Celsius, len(spreadF))
+	for i, v := range spreadF {
+		spreads[i] = units.Celsius(v)
+	}
+	layout, err := parseLayout(*fleetLayout)
+	if err != nil {
+		return err
+	}
+	points, err := fleet.Sweep(fleet.SweepConfig{
+		RackSizes: sizes,
+		Spreads:   spreads,
+		Layout:    layout,
+		Seed:      *fleetSeed,
+		Recirc:    units.KPerW(*fleetRecirc),
+		Duration:  units.Seconds(*fleetDuration),
+		Workers:   *fleetWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fleet sweep — rack size × hot-aisle inlet spread (%.0f s horizon, recirc %.3f K/W)\n\n",
+		*fleetDuration, *fleetRecirc)
+	fmt.Printf("%6s %10s %12s %12s %12s %10s %8s\n",
+		"nodes", "spread(°C)", "violation(%)", "fanE(kJ)", "fanShare(%)", "peakP(W)", "Tmax")
+	for _, p := range points {
+		r := p.Result
+		fmt.Printf("%6d %10.1f %12.2f %12.2f %12.2f %10.0f %8.1f\n",
+			p.RackSize, float64(p.Spread), r.ViolationFrac*100,
+			float64(r.FanEnergy)/1000, r.FanEnergyShare*100,
+			float64(r.PeakRackPower), float64(r.MaxJunction))
 	}
 	fmt.Println()
 	return nil

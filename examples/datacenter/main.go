@@ -1,92 +1,107 @@
-// Datacenter: manage a small rack of heterogeneous servers — different
-// inlet temperatures (hot and cold aisle positions) and different
-// workload mixes — each under its own DTM instance, and aggregate the
-// fleet's violations and energy. Demonstrates that the library's policies
-// are per-server objects with no shared state.
+// Datacenter: manage a small rack of heterogeneous servers through the
+// fleet layer — cold/hot-aisle positions map to inlet temperatures, the
+// hot aisle recirculates upstream exhaust into downstream intakes, and
+// every node runs its own workload mix under its own DTM instance. The
+// example is a thin consumer of internal/fleet: it declares the topology
+// and prints the aggregated rack view; simulation, the shared inlet
+// field, and the parallel batch execution live in the library.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/sim"
-	"repro/internal/units"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-type node struct {
-	name    string
-	ambient units.Celsius
-	gen     func(cfg sim.Config) (workload.Generator, error)
-}
+// rackSeed roots all workload randomness; per-node streams derive from it
+// through the stats.SubSeed mixing hash (consecutive literal seeds would
+// put neighbours on correlated generator streams).
+const rackSeed = 11
 
 func main() {
 	log.SetFlags(0)
 
-	rack := []node{
-		{"web-01 (cold aisle)", 24, func(cfg sim.Config) (workload.Generator, error) {
-			return workload.NewNoisy(workload.PaperSquare(400), 0.04, cfg.Tick, 11)
-		}},
-		{"web-02 (mid aisle)", 28, func(cfg sim.Config) (workload.Generator, error) {
-			return workload.Markov{IdleU: 0.15, BusyU: 0.85, Dwell: 45, PIdleToBusy: 0.25, PBusyToIdle: 0.2, Seed: 12}, nil
-		}},
-		{"batch-01 (hot aisle)", 32, func(cfg sim.Config) (workload.Generator, error) {
-			noisy, err := workload.NewNoisy(workload.Constant{U: 0.65}, 0.05, cfg.Tick, 13)
-			if err != nil {
-				return nil, err
-			}
-			return workload.NewSpiky(noisy, workload.PeriodicSpikes(200, 500, 30, 1.0, 6))
-		}},
-		{"batch-02 (hot aisle)", 33, func(cfg sim.Config) (workload.Generator, error) {
-			return workload.PRBS{Low: 0.2, High: 0.8, Dwell: 90, Seed: 14}, nil
-		}},
+	fullStack := fleet.FullStack
+	warm := &sim.WarmPoint{Util: 0.2, Fan: 1500}
+	seed := func(i int) int64 { return stats.SubSeed(rackSeed, int64(i)) }
+
+	cfg := fleet.Config{
+		Nodes: []fleet.NodeSpec{
+			{
+				Name: "web-01", Aisle: fleet.Cold, Slot: 0,
+				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
+				Workload: func(cfg sim.Config) (workload.Generator, error) {
+					return workload.NewNoisy(workload.PaperSquare(400), 0.04, cfg.Tick, seed(0))
+				},
+			},
+			{
+				Name: "web-02", Aisle: fleet.Mid, Slot: 0,
+				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
+				Workload: func(cfg sim.Config) (workload.Generator, error) {
+					return workload.Markov{
+						IdleU: 0.15, BusyU: 0.85, Dwell: 45,
+						PIdleToBusy: 0.25, PBusyToIdle: 0.2, Seed: seed(1),
+					}, nil
+				},
+			},
+			{
+				Name: "batch-01", Aisle: fleet.Hot, Slot: 0,
+				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
+				Workload: func(cfg sim.Config) (workload.Generator, error) {
+					noisy, err := workload.NewNoisy(workload.Constant{U: 0.65}, 0.05, cfg.Tick, seed(2))
+					if err != nil {
+						return nil, err
+					}
+					return workload.NewSpiky(noisy, workload.PeriodicSpikes(200, 500, 30, 1.0, 6))
+				},
+			},
+			{
+				Name: "batch-02", Aisle: fleet.Hot, Slot: 1,
+				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
+				Workload: func(cfg sim.Config) (workload.Generator, error) {
+					return workload.PRBS{Low: 0.2, High: 0.8, Dwell: 90, Seed: seed(3)}, nil
+				},
+			},
+		},
+		Supply:       24,
+		AisleOffsets: fleet.DefaultOffsets(),
+		Recirc:       0.01, // batch-02 breathes batch-01's exhaust
+		Duration:     3600,
 	}
 
-	const horizon = 3600
-	fmt.Printf("rack simulation: %d nodes, %d s horizon, per-node DTM (%s)\n\n",
-		len(rack), horizon, "R-coord+A-Tref+SSfan")
-	fmt.Printf("%-22s %8s %12s %12s %10s %8s\n",
-		"node", "amb(°C)", "violations", "fanE(kJ)", "meanFan", "Tmax")
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var totalViol, totalTicks float64
-	var totalFanE, totalCPUE units.Joule
-	for _, n := range rack {
-		cfg := sim.Default()
-		cfg.Ambient = n.ambient
-		gen, err := n.gen(cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", n.name, err)
-		}
-		dtm, err := core.NewFullStack(cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", n.name, err)
-		}
-		server, err := sim.NewPhysicalServer(cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", n.name, err)
-		}
-		res, err := sim.Run(server, sim.RunConfig{
-			Duration:  horizon,
-			Workload:  gen,
-			Policy:    dtm,
-			WarmStart: &sim.WarmPoint{Util: 0.2, Fan: 1500},
-		})
-		if err != nil {
-			log.Fatalf("%s: %v", n.name, err)
-		}
-		m := res.Metrics
-		fmt.Printf("%-22s %8.0f %11.2f%% %12.2f %10.0f %8.1f\n",
-			n.name, float64(n.ambient), m.ViolationFrac*100,
+	fmt.Printf("rack simulation: %d nodes, %.0f s horizon, per-node DTM (%s), %d recirculation pass(es)\n\n",
+		len(res.Nodes), float64(cfg.Duration), "R-coord+A-Tref+SSfan", res.Passes)
+	fmt.Printf("%-10s %6s %9s %12s %12s %10s %8s\n",
+		"node", "aisle", "inlet(°C)", "violations", "fanE(kJ)", "meanFan", "Tmax")
+	for _, n := range res.Nodes {
+		m := n.Metrics
+		fmt.Printf("%-10s %6s %9.1f %11.2f%% %12.2f %10.0f %8.1f\n",
+			n.Name, n.Aisle, float64(n.Inlet), m.ViolationFrac*100,
 			float64(m.FanEnergy)/1000, float64(m.MeanFanSpeed), float64(m.MaxJunction))
-		totalViol += m.ViolationFrac * float64(m.Ticks)
-		totalTicks += float64(m.Ticks)
-		totalFanE += m.FanEnergy
-		totalCPUE += m.CPUEnergy
+	}
+
+	fmt.Printf("\nper aisle:\n")
+	for a, am := range res.Aisles {
+		if am.Nodes == 0 {
+			continue
+		}
+		fmt.Printf("  %-5s %d node(s): inlet %.1f°C, %.2f%% violations, %.1f kJ fan\n",
+			fleet.Aisle(a), am.Nodes, float64(am.MeanInlet), am.ViolationFrac*100,
+			float64(am.FanEnergy)/1000)
 	}
 
 	fmt.Printf("\nfleet: %.2f%% violations, %.1f kJ fan energy, %.1f kJ CPU energy\n",
-		totalViol/totalTicks*100, float64(totalFanE)/1000, float64(totalCPUE)/1000)
-	fmt.Printf("fan share of total energy: %.2f%%\n",
-		float64(totalFanE)/float64(totalFanE+totalCPUE)*100)
+		res.ViolationFrac*100, float64(res.FanEnergy)/1000, float64(res.CPUEnergy)/1000)
+	fmt.Printf("fan share of total energy: %.2f%%\n", res.FanEnergyShare*100)
+	fmt.Printf("rack power: peak %.0f W, mean %.0f W\n",
+		float64(res.PeakRackPower), float64(res.MeanRackPower))
 }

@@ -364,3 +364,31 @@ func TestTable3MCValidation(t *testing.T) {
 		t.Error("negative duration accepted")
 	}
 }
+
+// TestFaultsDeterministicAcrossWorkers mirrors batch_test.go for the
+// fault-injection experiment: the same seed must reproduce bit-identical
+// clean and faulted metrics on every repetition and at any worker count.
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	fc := DefaultFaults()
+	fc.Duration = 900
+	fc.StuckAt = 400
+	fc.Workers = 1
+	want, err := Faults(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		fc.Workers = workers
+		got, err := Faults(fc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Metrics is a struct of comparable scalars: bit-identical or bust.
+		if got.Clean != want.Clean {
+			t.Errorf("workers=%d: clean metrics drifted:\n%+v\n!=\n%+v", workers, got.Clean, want.Clean)
+		}
+		if got.Faulted != want.Faulted {
+			t.Errorf("workers=%d: faulted metrics drifted:\n%+v\n!=\n%+v", workers, got.Faulted, want.Faulted)
+		}
+	}
+}

@@ -26,6 +26,9 @@ type FaultConfig struct {
 	StuckLen    units.Seconds
 	DropoutRate float64
 	Seed        int64
+	// Workers caps the batch engine's concurrency for the clean/faulted
+	// pair; zero means GOMAXPROCS. Results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultFaults returns the standard robustness scenario: a 2-minute
@@ -100,7 +103,7 @@ func Faults(fc FaultConfig) (*FaultResult, error) {
 			},
 		}
 	}
-	results, err := sim.RunBatch(jobs, sim.BatchOptions{})
+	results, err := sim.RunBatch(jobs, sim.BatchOptions{Workers: fc.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// NodeResult is one server's outcome within the rack.
+type NodeResult struct {
+	Name  string
+	Aisle Aisle
+	Slot  int
+	// Inlet is the node's resolved inlet (ambient) temperature: supply +
+	// aisle offset + recirculated upstream exhaust.
+	Inlet   units.Celsius
+	Metrics sim.Metrics
+	// Traces is the node's full recorded trace set; nil unless
+	// Config.Record.
+	Traces *trace.Set
+}
+
+// AisleMetrics aggregates the nodes of one aisle position.
+type AisleMetrics struct {
+	Nodes         int
+	ViolationFrac float64 // tick-weighted across the aisle's nodes
+	FanEnergy     units.Joule
+	CPUEnergy     units.Joule
+	MaxJunction   units.Celsius
+	MeanInlet     units.Celsius
+}
+
+// Result is the rack-level outcome of a fleet run. All aggregates are
+// computed in node order, so two runs of the same Config are bit-identical
+// regardless of Workers.
+type Result struct {
+	Nodes  []NodeResult
+	Aisles [NumAisles]AisleMetrics
+
+	// Ticks is the per-node tick count (all nodes share tick and horizon).
+	Ticks int
+	// ViolationFrac is the rack's tick-weighted deadline-violation
+	// fraction.
+	ViolationFrac float64
+	FanEnergy     units.Joule
+	CPUEnergy     units.Joule
+	TotalEnergy   units.Joule
+	// FanEnergyShare is FanEnergy / TotalEnergy — the subsystem energy
+	// proportionality number the fleet view exists to expose.
+	FanEnergyShare float64
+	MaxJunction    units.Celsius
+	TimeAboveLimit units.Seconds // summed node-seconds above TLimit
+
+	// PeakRackPower is the maximum over ticks of the rack's summed CPU+fan
+	// power — the provisioning number a PDU sees, which node-level peaks
+	// understate when they do not align in time.
+	PeakRackPower units.Watt
+	MeanRackPower units.Watt
+
+	// Passes is how many whole-rack simulation passes resolved the
+	// recirculation fixed point (1 when Recirc is 0).
+	Passes int
+}
+
+// Inlets resolves the shared inlet-temperature field given each node's
+// mean dissipated power from a previous pass (zeros for the first pass):
+// supply + aisle offset + Recirc × (summed mean power of same-aisle nodes
+// at strictly lower slots). The result is deterministic in node order.
+func (c Config) Inlets(meanPower []units.Watt) []units.Celsius {
+	inlets := make([]units.Celsius, len(c.Nodes))
+	for i, n := range c.Nodes {
+		inlet := c.Supply + c.AisleOffsets[n.Aisle]
+		if c.Recirc > 0 && meanPower != nil {
+			for j, m := range c.Nodes {
+				if j != i && m.Aisle == n.Aisle && m.Slot < n.Slot {
+					inlet += units.Celsius(float64(c.Recirc) * float64(meanPower[j]))
+				}
+			}
+		}
+		inlets[i] = inlet
+	}
+	return inlets
+}
+
+// buildJobs materializes one batch: per node, the spec's config with its
+// ambient set to the resolved inlet, a fresh workload generator, and a
+// fresh policy (batch jobs must not share mutable state). final marks the
+// last relaxation pass: only it records the power series the rack
+// aggregation consumes (full traces too when Config.Record asks);
+// intermediate passes feed back Metrics alone and record nothing.
+func (c Config) buildJobs(inlets []units.Celsius, final bool) ([]sim.Job, error) {
+	jobs := make([]sim.Job, len(c.Nodes))
+	for i, n := range c.Nodes {
+		cfg := n.Config
+		cfg.Ambient = inlets[i]
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: node %q at inlet %v: %w", n.Name, inlets[i], err)
+		}
+		gen, err := n.Workload(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %q workload: %w", n.Name, err)
+		}
+		pol, err := n.Policy(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %q policy: %w", n.Name, err)
+		}
+		jobs[i] = sim.Job{
+			Name:   n.Name,
+			Server: sim.Factory(cfg),
+			Config: sim.RunConfig{
+				Duration:    c.Duration,
+				Workload:    gen,
+				Policy:      pol,
+				Record:      final && c.Record,
+				RecordPower: final,
+				WarmStart:   n.WarmStart,
+			},
+		}
+	}
+	return jobs, nil
+}
+
+// Run simulates the rack. With Recirc > 0 it relaxes the recirculation
+// fixed point: pass 0 runs every node at its position inlet, each further
+// pass recomputes the inlet field from the previous pass's mean node
+// powers and re-simulates. All passes execute as parallel batches; the
+// result is bit-identical for any Workers value.
+func Run(c Config) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	passes := 1
+	if c.Recirc > 0 {
+		if c.RecircPasses > 0 {
+			passes += c.RecircPasses
+		} else {
+			passes += DefaultRecircPasses
+		}
+	}
+
+	meanPower := make([]units.Watt, len(c.Nodes))
+	var results []*sim.Result
+	var inlets []units.Celsius
+	for p := 0; p < passes; p++ {
+		inlets = c.Inlets(meanPower)
+		jobs, err := c.buildJobs(inlets, p == passes-1)
+		if err != nil {
+			return nil, err
+		}
+		results, err = sim.RunBatch(jobs, sim.BatchOptions{Workers: c.Workers})
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			meanPower[i] = units.Watt(float64(r.Metrics.CPUEnergy+r.Metrics.FanEnergy) / float64(c.Duration))
+		}
+	}
+	return c.aggregate(inlets, results, passes)
+}
+
+// aggregate folds the final pass's per-node results into the rack view.
+func (c Config) aggregate(inlets []units.Celsius, results []*sim.Result, passes int) (*Result, error) {
+	out := &Result{
+		Nodes:  make([]NodeResult, len(results)),
+		Passes: passes,
+	}
+	var rackPower []float64
+	var totalTicks, totalViolations float64
+	var aisleTicks, aisleViolations, aisleInlet [NumAisles]float64
+	for i, r := range results {
+		spec := c.Nodes[i]
+		m := r.Metrics
+		out.Nodes[i] = NodeResult{
+			Name:    spec.Name,
+			Aisle:   spec.Aisle,
+			Slot:    spec.Slot,
+			Inlet:   inlets[i],
+			Metrics: m,
+		}
+		if c.Record {
+			out.Nodes[i].Traces = r.Traces
+		}
+
+		power := r.Traces.Get("total_power")
+		if power == nil {
+			return nil, fmt.Errorf("fleet: node %q recorded no power series", spec.Name)
+		}
+		if rackPower == nil {
+			rackPower = make([]float64, power.Len())
+			out.Ticks = power.Len()
+		}
+		if power.Len() != len(rackPower) {
+			return nil, fmt.Errorf("fleet: node %q power series length %d != %d", spec.Name, power.Len(), len(rackPower))
+		}
+		for k := 0; k < power.Len(); k++ {
+			rackPower[k] += power.At(k).V
+		}
+
+		ticks := float64(m.Ticks)
+		totalTicks += ticks
+		totalViolations += m.ViolationFrac * ticks
+		out.FanEnergy += m.FanEnergy
+		out.CPUEnergy += m.CPUEnergy
+		out.TimeAboveLimit += m.TimeAboveLimit
+		if m.MaxJunction > out.MaxJunction {
+			out.MaxJunction = m.MaxJunction
+		}
+
+		a := &out.Aisles[spec.Aisle]
+		a.Nodes++
+		a.FanEnergy += m.FanEnergy
+		a.CPUEnergy += m.CPUEnergy
+		if m.MaxJunction > a.MaxJunction {
+			a.MaxJunction = m.MaxJunction
+		}
+		aisleTicks[spec.Aisle] += ticks
+		aisleViolations[spec.Aisle] += m.ViolationFrac * ticks
+		aisleInlet[spec.Aisle] += float64(inlets[i])
+	}
+
+	out.TotalEnergy = out.FanEnergy + out.CPUEnergy
+	if out.TotalEnergy > 0 {
+		out.FanEnergyShare = float64(out.FanEnergy) / float64(out.TotalEnergy)
+	}
+	if totalTicks > 0 {
+		out.ViolationFrac = totalViolations / totalTicks
+	}
+	for a := range out.Aisles {
+		if aisleTicks[a] > 0 {
+			out.Aisles[a].ViolationFrac = aisleViolations[a] / aisleTicks[a]
+		}
+		if n := out.Aisles[a].Nodes; n > 0 {
+			out.Aisles[a].MeanInlet = units.Celsius(aisleInlet[a] / float64(n))
+		}
+	}
+	if len(rackPower) > 0 {
+		_, peak, err := stats.MinMax(rackPower)
+		if err != nil {
+			return nil, err
+		}
+		out.PeakRackPower = units.Watt(peak)
+		out.MeanRackPower = units.Watt(stats.Mean(rackPower))
+	}
+	return out, nil
+}

@@ -73,7 +73,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 	}
 
 	n := rc.Config.NCore
-	assignShare := make([]units.Utilization, n) // per-core share of demand, sums to ~1*n scale
+	var assignShare []units.Utilization // per-core share of demand, sums to ~1*n scale
 	if rc.Skewed {
 		assignShare = SplitSkewed(0.5, n)
 	} else {
@@ -100,7 +100,6 @@ func Run(rc RunConfig) (*RunResult, error) {
 	lastAction := units.Seconds(-1000)
 	const epoch = units.Seconds(5)
 
-	var fanVals []float64
 	var spreadSum float64
 	violations, ticks := 0, 0
 	var fanE units.Joule
@@ -110,7 +109,13 @@ func Run(rc RunConfig) (*RunResult, error) {
 		meas[i] = units.Celsius(base.Sensor.InitialValue)
 	}
 
+	// All per-tick state is allocated once here: the loop itself is
+	// allocation-free (trace recording, when enabled, amortizes through
+	// the series' append growth).
 	nTicks := int(float64(rc.Duration) / float64(base.Tick))
+	fanVals := make([]float64, 0, nTicks)
+	coreUtil := make([]units.Utilization, n)
+	proposal := make([]units.Utilization, 0, n) // scheduler scratch
 	for k := 0; k < nTicks; k++ {
 		t := units.Seconds(float64(k) * float64(base.Tick))
 		demand := rc.Workload.At(t)
@@ -130,7 +135,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 			lastFan = t
 			fanEver = true
 		}
-		schedProposal := sched.Decide(t, meas, toUtils(assignShare))
+		proposal = sched.DecideInto(proposal, t, meas, assignShare)
 
 		// --- apply: free-for-all vs serialized ---
 		if !rc.Coordinate {
@@ -138,7 +143,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 				fanCmd = fanProposal
 			}
 			cap = capProposal
-			assignShare = fromUtils(schedProposal)
+			copy(assignShare, proposal)
 		} else {
 			// One action per epoch, performance-biased: a pending fan
 			// move wins (and defines the standing intent); migrations
@@ -151,8 +156,8 @@ func Run(rc RunConfig) (*RunResult, error) {
 				lastAction = t
 			case capProposal > cap:
 				cap = capProposal // restore performance freely
-			case t-lastAction >= epoch-1e-9 && changed(schedProposal, assignShare):
-				assignShare = fromUtils(schedProposal)
+			case t-lastAction >= epoch-1e-9 && changed(proposal, assignShare):
+				copy(assignShare, proposal)
 				lastAction = t
 			case t-lastAction >= epoch-1e-9 && capProposal < cap && standing <= 0:
 				cap = capProposal
@@ -168,7 +173,6 @@ func Run(rc RunConfig) (*RunResult, error) {
 		if delivered < demand-1e-9 {
 			violations++
 		}
-		coreUtil := make([]units.Utilization, n)
 		for c := range coreUtil {
 			// assignShare is a distribution weight; scale so that the
 			// balanced case matches the single-socket model: delivered
@@ -219,14 +223,6 @@ func Run(rc RunConfig) (*RunResult, error) {
 		out.FanAmplitude = stats.PeakAmplitude(stats.FindPeaks(fanVals[60:], 200))
 	}
 	return out, nil
-}
-
-func toUtils(in []units.Utilization) []units.Utilization {
-	return append([]units.Utilization(nil), in...)
-}
-
-func fromUtils(in []units.Utilization) []units.Utilization {
-	return append([]units.Utilization(nil), in...)
 }
 
 func changed(a, b []units.Utilization) bool {

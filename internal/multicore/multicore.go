@@ -17,6 +17,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sensor"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
@@ -58,11 +59,11 @@ func (c Config) Validate() error {
 	if c.NCore < 1 {
 		return fmt.Errorf("multicore: %d cores", c.NCore)
 	}
-	if c.CoreRes <= 0 {
-		return fmt.Errorf("multicore: non-positive core resistance %v", c.CoreRes)
+	if c.CoreRes <= 0 || !units.IsFinite(float64(c.CoreRes)) {
+		return fmt.Errorf("multicore: bad core resistance %v", c.CoreRes)
 	}
-	if c.LateralRes < 0 {
-		return fmt.Errorf("multicore: negative lateral resistance %v", c.LateralRes)
+	if c.LateralRes < 0 || !units.IsFinite(float64(c.LateralRes)) {
+		return fmt.Errorf("multicore: bad lateral resistance %v", c.LateralRes)
 	}
 	return nil
 }
@@ -80,6 +81,11 @@ type Server struct {
 	fanAct  units.RPM
 	clock   units.Seconds
 	started bool
+	// Per-server scratch backing TickResult.Junctions/Measured: the tick
+	// loop runs once per simulated second for hours, so the result slices
+	// are reused rather than reallocated (see Tick's aliasing contract).
+	juncBuf []units.Celsius
+	measBuf []units.Celsius
 }
 
 // NewServer builds the platform with all nodes at ambient and the fan at
@@ -141,7 +147,11 @@ func NewServer(cfg Config) (*Server, error) {
 	pipes := make([]*sensor.Pipeline, n)
 	for c := 0; c < n; c++ {
 		sc := cfg.Base.Sensor
-		sc.NoiseSeed += int64(c) // decorrelate per-core transducer noise
+		// Decorrelate per-core transducer noise through the mixing hash:
+		// additive sub-seeds (seed + c) put sibling cores on consecutive
+		// generator starting points, which correlate across a fleet whose
+		// node seeds are themselves consecutive.
+		sc.NoiseSeed = stats.SubSeed(sc.NoiseSeed, int64(c))
 		p, err := sensor.New(sc)
 		if err != nil {
 			return nil, err
@@ -157,6 +167,8 @@ func NewServer(cfg Config) (*Server, error) {
 		sinkIdx: sinkIdx,
 		fanCmd:  cfg.Base.FanMinSpeed,
 		fanAct:  cfg.Base.FanMinSpeed,
+		juncBuf: make([]units.Celsius, n),
+		measBuf: make([]units.Celsius, n),
 	}, nil
 }
 
@@ -176,7 +188,11 @@ func (s *Server) CoreJunction(c int) units.Celsius { return s.net.Temperature(c)
 
 // TickResult reports one multi-core engine step.
 type TickResult struct {
-	T         units.Seconds
+	T units.Seconds
+	// Junctions and Measured alias per-server scratch buffers: they are
+	// valid until the server's next Tick and must be copied by callers
+	// that retain samples across ticks. The aliasing keeps the tick loop
+	// allocation-free (it runs once per simulated second for hours).
 	Junctions []units.Celsius // true per-core temperatures
 	Measured  []units.Celsius // DTM-visible per-core temperatures
 	MaxJunc   units.Celsius
@@ -188,7 +204,8 @@ type TickResult struct {
 
 // Tick advances the platform by one base tick under the given per-core
 // delivered utilizations (len must equal NCore; each in [0, 1] as a
-// fraction of the core's share of the socket's dynamic power).
+// fraction of the core's share of the socket's dynamic power). The
+// returned Junctions/Measured slices are overwritten by the next Tick.
 func (s *Server) Tick(coreUtil []units.Utilization) (TickResult, error) {
 	if len(coreUtil) != s.cfg.NCore {
 		return TickResult{}, fmt.Errorf("multicore: %d utilizations for %d cores", len(coreUtil), s.cfg.NCore)
@@ -232,8 +249,8 @@ func (s *Server) Tick(coreUtil []units.Utilization) (TickResult, error) {
 
 	res := TickResult{
 		T:         s.clock,
-		Junctions: make([]units.Celsius, s.cfg.NCore),
-		Measured:  make([]units.Celsius, s.cfg.NCore),
+		Junctions: s.juncBuf,
+		Measured:  s.measBuf,
 		FanActual: s.fanAct,
 		CPUPower:  totalCPU,
 		FanPower:  s.fan.Power(s.fanAct),

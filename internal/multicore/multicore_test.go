@@ -293,3 +293,77 @@ func TestRunRecordsTraces(t *testing.T) {
 		}
 	}
 }
+
+// TestTickZeroAllocAfterWarmup is the hot-path bar of the ROADMAP's
+// "multicore hot path" item: once the sensor rings have grown to their
+// steady size, Server.Tick must not touch the heap — TickResult reuses
+// the per-server scratch buffers.
+func TestTickZeroAllocAfterWarmup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	cfg := DefaultConfig()
+	server, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.CommandFan(4000)
+	util := SplitEven(0.6, cfg.NCore)
+	for i := 0; i < 200; i++ { // grow sensor rings to steady state
+		if _, err := server.Tick(util); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := server.Tick(util); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm multicore Tick allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTickResultAliasesScratch pins the documented aliasing contract:
+// the slices returned by consecutive Ticks share backing storage.
+func TestTickResultAliasesScratch(t *testing.T) {
+	cfg := DefaultConfig()
+	server, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := SplitEven(0.5, cfg.NCore)
+	a, err := server.Tick(util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := server.Tick(util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Junctions[0] != &b.Junctions[0] || &a.Measured[0] != &b.Measured[0] {
+		t.Error("TickResult slices not reused across ticks (scratch contract broken)")
+	}
+}
+
+// TestDecideIntoMatchesDecide: the scratch-reusing scheduler entry point
+// must be behaviorally identical to the allocating one.
+func TestDecideIntoMatchesDecide(t *testing.T) {
+	meas := []units.Celsius{85, 70, 72, 71}
+	assign := []units.Utilization{1.0, 0.1, 0.2, 0.2}
+	sc1, _ := NewScheduler(3, 0.25, 5)
+	sc2, _ := NewScheduler(3, 0.25, 5)
+	scratch := make([]units.Utilization, 0, len(assign))
+	for _, tm := range []units.Seconds{0, 2, 5, 10} {
+		want := sc1.Decide(tm, meas, assign)
+		scratch = sc2.DecideInto(scratch, tm, meas, assign)
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("t=%v: DecideInto %v != Decide %v", tm, scratch, want)
+			}
+		}
+	}
+	if sc1.Migrations != sc2.Migrations {
+		t.Errorf("migration counts diverged: %d vs %d", sc1.Migrations, sc2.Migrations)
+	}
+}

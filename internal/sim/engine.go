@@ -16,6 +16,10 @@ type RunConfig struct {
 	// Record enables full time-series capture (memory-heavy for long
 	// runs; metrics are always computed).
 	Record bool
+	// RecordPower captures only the "total_power" series — what the
+	// fleet layer's rack-power aggregation consumes — at an eighth of
+	// Record's memory. Implied by Record.
+	RecordPower bool
 	// WarmStart, if non-nil, initializes the platform at thermal steady
 	// state for the given operating point instead of a cold chassis.
 	WarmStart *WarmPoint
@@ -46,7 +50,8 @@ type Metrics struct {
 type Result struct {
 	Metrics Metrics
 	// Traces: "demand", "delivered", "cap", "fan_cmd", "fan_actual",
-	// "junction", "measured". Nil unless RunConfig.Record.
+	// "junction", "measured", "total_power". Nil unless RunConfig.Record
+	// (all series) or RunConfig.RecordPower ("total_power" only).
 	Traces *trace.Set
 }
 
@@ -70,19 +75,23 @@ func Run(server *PhysicalServer, rc RunConfig) (*Result, error) {
 	}
 
 	var ts *trace.Set
-	var sDemand, sDelivered, sCap, sFanCmd, sFanAct, sJunction, sMeasured *trace.Series
-	if rc.Record {
+	var sDemand, sDelivered, sCap, sFanCmd, sFanAct, sJunction, sMeasured, sPower *trace.Series
+	if rc.Record || rc.RecordPower {
 		ts = trace.NewSet()
-		sDemand = trace.NewSeries("demand")
-		sDelivered = trace.NewSeries("delivered")
-		sCap = trace.NewSeries("cap")
-		sFanCmd = trace.NewSeries("fan_cmd")
-		sFanAct = trace.NewSeries("fan_actual")
-		sJunction = trace.NewSeries("junction")
-		sMeasured = trace.NewSeries("measured")
-		for _, s := range []*trace.Series{sDemand, sDelivered, sCap, sFanCmd, sFanAct, sJunction, sMeasured} {
-			ts.Add(s)
+		sPower = trace.NewSeries("total_power")
+		if rc.Record {
+			sDemand = trace.NewSeries("demand")
+			sDelivered = trace.NewSeries("delivered")
+			sCap = trace.NewSeries("cap")
+			sFanCmd = trace.NewSeries("fan_cmd")
+			sFanAct = trace.NewSeries("fan_actual")
+			sJunction = trace.NewSeries("junction")
+			sMeasured = trace.NewSeries("measured")
+			for _, s := range []*trace.Series{sDemand, sDelivered, sCap, sFanCmd, sFanAct, sJunction, sMeasured} {
+				ts.Add(s)
+			}
 		}
+		ts.Add(sPower)
 	}
 
 	var m Metrics
@@ -131,15 +140,18 @@ func Run(server *PhysicalServer, rc RunConfig) (*Result, error) {
 		sumDelivered += float64(res.Delivered)
 		sumDemand += float64(res.Demand)
 
-		if rc.Record {
+		if ts != nil {
 			tf := float64(res.T)
-			sDemand.MustAppend(tf, float64(res.Demand))
-			sDelivered.MustAppend(tf, float64(res.Delivered))
-			sCap.MustAppend(tf, float64(res.Cap))
-			sFanCmd.MustAppend(tf, float64(res.FanCmd))
-			sFanAct.MustAppend(tf, float64(res.FanActual))
-			sJunction.MustAppend(tf, float64(res.Junction))
-			sMeasured.MustAppend(tf, float64(res.Measured))
+			if rc.Record {
+				sDemand.MustAppend(tf, float64(res.Demand))
+				sDelivered.MustAppend(tf, float64(res.Delivered))
+				sCap.MustAppend(tf, float64(res.Cap))
+				sFanCmd.MustAppend(tf, float64(res.FanCmd))
+				sFanAct.MustAppend(tf, float64(res.FanActual))
+				sJunction.MustAppend(tf, float64(res.Junction))
+				sMeasured.MustAppend(tf, float64(res.Measured))
+			}
+			sPower.MustAppend(tf, float64(res.TotalPower))
 		}
 	}
 

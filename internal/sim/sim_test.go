@@ -214,7 +214,7 @@ func TestRunMetricsAndTraces(t *testing.T) {
 	if m.MeanDemand != 0.5 || m.MeanDelivered != 0.5 {
 		t.Errorf("demand/delivered = %v/%v", m.MeanDemand, m.MeanDelivered)
 	}
-	for _, name := range []string{"demand", "delivered", "cap", "fan_cmd", "fan_actual", "junction", "measured"} {
+	for _, name := range []string{"demand", "delivered", "cap", "fan_cmd", "fan_actual", "junction", "measured", "total_power"} {
 		s := res.Traces.Get(name)
 		if s == nil || s.Len() != 300 {
 			t.Errorf("trace %q missing or wrong length", name)
@@ -303,4 +303,26 @@ func TestHoldPolicy(t *testing.T) {
 		t.Errorf("name = %q", p.Name())
 	}
 	p.Reset() // must not panic
+}
+
+func TestRunRecordPowerOnly(t *testing.T) {
+	server, _ := NewPhysicalServer(Default())
+	res, err := Run(server, RunConfig{
+		Duration:    50,
+		Workload:    workload.Constant{U: 0.5},
+		Policy:      HoldPolicy{Fan: 2000},
+		RecordPower: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces == nil {
+		t.Fatal("RecordPower produced no traces")
+	}
+	if s := res.Traces.Get("total_power"); s == nil || s.Len() != 50 {
+		t.Error("total_power series missing or wrong length")
+	}
+	if res.Traces.Get("junction") != nil {
+		t.Error("full series recorded under power-only mode")
+	}
 }

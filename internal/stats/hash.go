@@ -2,16 +2,41 @@ package stats
 
 import "math"
 
+// mix64 is the splitmix64 finalizer: an invertible avalanche permutation
+// of the 64-bit state. Every hash in this file funnels through it so that
+// structurally close inputs (adjacent seeds, adjacent tick indices) land
+// on statistically unrelated outputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Hash64 returns a deterministic 64-bit hash of (seed, k) using the
 // splitmix64 finalizer. Workload generators use it for random-access
 // determinism: the k-th tick's randomness is a pure function of (seed, k),
 // independent of query order, and far cheaper than constructing a
 // math/rand source per tick.
 func Hash64(seed, k int64) uint64 {
-	z := uint64(seed) + uint64(k)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+	return mix64(uint64(seed) + uint64(k)*0x9E3779B97F4A7C15)
+}
+
+// SubSeed derives the seed of an independent child stream from a parent
+// seed and a stream index. Plain additive derivation (seed + i) puts
+// sibling streams on consecutive splitmix64 starting points, which is
+// exactly the structured-input case a single finalizer pass exists to
+// break — and callers that also use consecutive literals as parent seeds
+// (fleet nodes, per-core sensors) would stack the two offsets into
+// colliding streams. SubSeed instead avalanches the stream index first and
+// folds it into the parent by XOR, then avalanches again, so any
+// (seed, stream) pair maps to a decorrelated child seed:
+//
+//	child := stats.SubSeed(parentSeed, int64(i))
+//
+// The derivation is deterministic, collision-resistant over the index
+// ranges simulations use, and safe to nest (sub-seeding a sub-seed).
+func SubSeed(seed, stream int64) int64 {
+	return int64(mix64(uint64(seed) ^ mix64(uint64(stream)+0x9E3779B97F4A7C15)))
 }
 
 // HashUniform returns a deterministic uniform sample in [0, 1) for (seed, k).

@@ -9,3 +9,15 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run xxx -bench . -benchtime 1x -benchmem .
+
+# Fleet-layer smoke: build and run the rack subcommand and the datacenter
+# example with fixed seeds on short horizons, and fail if either produces
+# no output. This gates the fleet topology layer end to end (CLI wiring,
+# shared inlet field, aggregation) alongside the unit tests above.
+fleet_out=$(go run ./cmd/experiments fleet -nodes 4 -seed 1 -duration 600)
+test -n "$fleet_out"
+echo "$fleet_out" | grep -q "rack:"
+
+dc_out=$(go run ./examples/datacenter)
+test -n "$dc_out"
+echo "$dc_out" | grep -q "fleet:"
