@@ -5,7 +5,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json ci
+
+# Benchmarks recorded into the machine-readable perf trajectory
+# (BENCH_*.json via `make bench-json`); keep the hot-path and engine
+# comparison benchmarks here so every PR's baseline is diffable.
+BENCH_JSON_PATTERN = 'BenchmarkNetworkStep$$|BenchmarkBatchNetworkStep|BenchmarkServerTick|BenchmarkEngineThroughput|BenchmarkMulticoreTick|BenchmarkTable3Serial|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint'
+BENCH_OUT ?= BENCH_PR3.json
 
 all: ci
 
@@ -30,6 +36,15 @@ bench:
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+# Machine-readable perf baseline: run the trajectory benchmarks and write
+# ns/op, allocs/op and custom metrics (ticks/s) to $(BENCH_OUT). The
+# intermediate file (not a pipe) makes a failing benchmark run fail the
+# target instead of silently committing a partial baseline.
+bench-json:
+	$(GO) test -run xxx -bench $(BENCH_JSON_PATTERN) -benchtime 2s -benchmem . > bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
+	@rm -f bench.out
 
 ci:
 	./scripts/ci.sh

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/multicore"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/thermal"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -279,6 +281,190 @@ func BenchmarkMulticoreRunHour(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// lockstepBenchJobs builds n same-clock jobs mirroring the fleet archetype
+// mix (noisy web square, Markov bursts, spiky batch, PRBS stress), each
+// under the paper's full DTM stack with a decorrelated seed — the job
+// population BenchmarkLockstepVsBatch compares the two engines on.
+func lockstepBenchJobs(b *testing.B, n int) []sim.Job {
+	b.Helper()
+	cfg := sim.Default()
+	cfg.Ambient = 30
+	jobs := make([]sim.Job, n)
+	for i := 0; i < n; i++ {
+		seed := stats.SubSeed(11, int64(i))
+		var gen workload.Generator
+		var err error
+		switch i % 4 {
+		case 0:
+			gen, err = workload.NewNoisy(workload.PaperSquare(400), 0.04, cfg.Tick, seed)
+		case 1:
+			gen = workload.Markov{IdleU: 0.15, BusyU: 0.85, Dwell: 45,
+				PIdleToBusy: 0.25, PBusyToIdle: 0.2, Seed: seed}
+		case 2:
+			var noisy *workload.Noisy
+			noisy, err = workload.NewNoisy(workload.Constant{U: 0.65}, 0.05, cfg.Tick, seed)
+			if err == nil {
+				gen, err = workload.NewSpiky(noisy, workload.PeriodicSpikes(200, 500, 30, 1.0, 6))
+			}
+		default:
+			gen = workload.PRBS{Low: 0.2, High: 0.8, Dwell: 90, Seed: seed}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol, err := core.NewFullStack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs[i] = sim.Job{
+			Name:   fmt.Sprintf("node-%02d", i),
+			Server: sim.Factory(cfg),
+			Config: sim.RunConfig{
+				Duration:    900,
+				Workload:    gen,
+				Policy:      pol,
+				RecordPower: true,
+				WarmStart:   &sim.WarmPoint{Util: 0.2, Fan: 1500},
+			},
+		}
+	}
+	return jobs
+}
+
+// BenchmarkLockstepVsBatch compares one whole-batch pass under the two
+// engines at fleet-relevant batch sizes. The batch side rebuilds servers
+// and re-evaluates workload generators every op (RunBatch's contract);
+// the lockstep side re-steps one warm instance, the fleet fixed point's
+// steady state — precompiled demand schedules, reused servers, reused
+// recording buffers, zero allocations per pass at one worker. Results are
+// bit-identical between the two (asserted by the sim tests); this
+// benchmark measures what the reuse is worth.
+func BenchmarkLockstepVsBatch(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		b.Run("batch/"+unitName("servers", float64(n), ""), func(b *testing.B) {
+			jobs := lockstepBenchJobs(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunBatch(jobs, sim.BatchOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(900*float64(n)*float64(b.N)/sec, "ticks/s")
+			}
+		})
+		b.Run("lockstep/"+unitName("servers", float64(n), ""), func(b *testing.B) {
+			ls, err := sim.NewLockstep(lockstepBenchJobs(b, n), sim.BatchOptions{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ls.Run(); err != nil { // warm rings and buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ls.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(900*float64(n)*float64(b.N)/sec, "ticks/s")
+			}
+		})
+	}
+}
+
+// BenchmarkBatchNetworkStep compares the SoA lockstep RK4 integrator
+// against stepping the same population of standalone Networks, at the
+// 16-node multicore shape. The SoA layout streams the batch dimension
+// contiguously; both sides are zero-alloc after warm-up.
+func BenchmarkBatchNetworkStep(b *testing.B) {
+	const nodes = 16
+	for _, batch := range []int{8, 64} {
+		b.Run("loop/"+unitName("servers", float64(batch), ""), func(b *testing.B) {
+			nets := make([]*thermal.Network, batch)
+			for s := range nets {
+				nets[s] = buildNetwork(b, nodes)
+				if err := nets[s].Step(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, net := range nets {
+					if err := net.Step(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run("soa/"+unitName("servers", float64(batch), ""), func(b *testing.B) {
+			bn, err := thermal.NewBatchNetwork(nodes, batch, 25)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := nodes - 1
+			if err := bn.SetCapacitance(sink, 500); err != nil {
+				b.Fatal(err)
+			}
+			if err := bn.ConnectAmbient(sink, 0.05); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < sink; i++ {
+				if err := bn.SetCapacitance(i, 50); err != nil {
+					b.Fatal(err)
+				}
+				if err := bn.Connect(i, sink, 0.5); err != nil {
+					b.Fatal(err)
+				}
+				for s := 0; s < batch; s++ {
+					bn.SetLoad(i, s, 10)
+				}
+			}
+			if err := bn.Step(1); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bn.Step(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetFixedPoint measures the recirculation fixed point on the
+// canonical 8-node rack: every op resolves the full relaxation (two
+// whole-rack passes at the default depth) and aggregates the rack view.
+// This is the number the lockstep rewrite is gated on — the warm rack
+// instance re-steps with updated inlets instead of rebuilding and
+// re-simulating every node from scratch each pass.
+func BenchmarkFleetFixedPoint(b *testing.B) {
+	cfg, err := fleet.NewRack(8, nil, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Duration = 900
+	cfg.Recirc = 0.01
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		const ticksPerOp = 900 * 8 * 2 // duration × nodes × passes
+		b.ReportMetric(ticksPerOp*float64(b.N)/sec, "ticks/s")
 	}
 }
 

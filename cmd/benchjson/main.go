@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output into a stable,
+// machine-readable JSON document, so every PR can commit its performance
+// baseline (ns/op, allocs/op, and custom metrics like ticks/s) and future
+// changes diff against a trajectory instead of prose in commit messages.
+//
+// Usage:
+//
+//	go test -run xxx -bench <pattern> -benchmem . | go run ./cmd/benchjson -out BENCH.json
+//
+// Lines that are not benchmark results (the goos/goarch/pkg/cpu header is
+// captured into the environment block; PASS/FAIL and everything else is
+// ignored) pass through silently, so the tool can sit at the end of any
+// bench pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was on.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other reported unit (e.g. "ticks/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the file layout.
+type Document struct {
+	// Env captures the bench header: goos, goarch, pkg, cpu.
+	Env map[string]string `json:"env,omitempty"`
+	// Benchmarks are the parsed results in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -N procs suffix if present.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters, NsPerOp: -1}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	if r.NsPerOp < 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	doc := Document{Env: make(map[string]string)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+			continue
+		}
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if rest, ok := strings.CutPrefix(line, key+":"); ok {
+				doc.Env[key] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -49,8 +49,13 @@ func (s *SetpointScheduler) Observe(u units.Utilization) units.Celsius {
 // Current returns the most recently scheduled reference.
 func (s *SetpointScheduler) Current() units.Celsius { return s.last }
 
-// Reset restores the initial state.
+// Reset restores the initial state. Predictors that can clear in place do
+// (keeping warm-batch policy resets allocation-free); others are rebuilt.
 func (s *SetpointScheduler) Reset() {
-	s.pred = filter.NewMAPredictor(s.window)
+	if r, ok := s.pred.(interface{ Reset() }); ok {
+		r.Reset()
+	} else {
+		s.pred = filter.NewMAPredictor(s.window)
+	}
 	s.last = s.Lo
 }

@@ -197,6 +197,10 @@ type DTM struct {
 	// releases stay allocation-free on the tick path.
 	relCPU   power.CPUModel
 	relTherm *thermal.Server
+	// tq is the platform ADC's quantization step, a pure function of the
+	// configuration cached here because retuneCapperBand needs it every
+	// tick.
+	tq units.Celsius
 
 	lastFan  units.Seconds
 	fanEver  bool
@@ -249,7 +253,8 @@ func NewDTM(name string, opt Options) (*DTM, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DTM{opt: opt, name: name, fan: fan, adaptive: adaptive, capper: capper}
+	d := &DTM{opt: opt, name: name, fan: fan, adaptive: adaptive, capper: capper,
+		tq: units.Celsius(quantStep(opt.Config))}
 	if relCPU, _, err := opt.Config.Models(); err == nil {
 		d.relCPU = relCPU
 		if relTherm, err := opt.Config.ThermalModel(); err == nil {
@@ -334,8 +339,7 @@ func (d *DTM) fanTick(t units.Seconds) bool {
 // capper's hold band disjoint from the quantization guard's hold band —
 // overlapping bands deadlock the platform at a starved cap (see Options).
 func (d *DTM) retuneCapperBand() {
-	tq := units.Celsius(quantStep(d.opt.Config))
-	lo := d.fan.Reference() + tq + d.opt.CapBandOffset
+	lo := d.fan.Reference() + d.tq + d.opt.CapBandOffset
 	hi := lo + d.opt.CapBandWidth
 	if max := d.opt.Config.TLimit - 0.5; hi > max {
 		hi = max
@@ -392,6 +396,17 @@ func (d *DTM) Step(obs sim.Observation) sim.Command {
 	// that standing intent, not just against an instantaneous snapshot.
 	if boosted {
 		d.standingFanDir = coord.Up
+		if obs.FanCmd >= d.opt.Config.FanMaxSpeed {
+			// The boost has saturated the actuator: no further fan-up
+			// exists to apply, so a standing Up claim would make Table II
+			// discard cap-release proposals indefinitely. From a cold
+			// chassis that deadlocks — the transient cut cap keeps every
+			// tick violated, the violations keep the boost alive, and the
+			// boost keeps the cap starved (the cold-start throttling
+			// latch; see TestColdStartNoThrottleLatch). A pinned fan
+			// reads as Hold so the performance bias can restore the cap.
+			d.standingFanDir = coord.Hold
+		}
 	} else if fanDecided {
 		d.standingFanDir = coord.Classify(float64(fanProposal), float64(obs.FanCmd), 25)
 	}

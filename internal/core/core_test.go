@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 	"repro/internal/tuning"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -326,6 +327,105 @@ func TestTuneRegionsOnPlatform(t *testing.T) {
 	}
 	if math.Abs(def[1].Gains.KP-r6000.Region.Gains.KP) > 0.2*r6000.Region.Gains.KP {
 		t.Errorf("shipped KP(6000) = %v, tuner says %v", def[1].Gains.KP, r6000.Region.Gains.KP)
+	}
+}
+
+// TestColdStartNoThrottleLatch is the regression test for the cold-start
+// throttling latch (ROADMAP): from a cold chassis the junction overshoots
+// before the lagged, quantized measurement catches up, the capper cuts
+// below demand, the all-violated window keeps the single-step boost alive,
+// and the boost's standing fan-up claim made Table II discard every
+// cap-release proposal — a deadlock that held ~94% violations for a full
+// hour at a 25 °C inlet and 0.7 demand, which a warm start never enters.
+// The fix reads a boost pinned at the actuator maximum as Hold, so the
+// rule matrix's performance bias can restore the cap; the cold transient
+// must now clear within minutes and stay clear.
+func TestColdStartNoThrottleLatch(t *testing.T) {
+	cfg := sim.Default() // 25 °C ambient
+	pol, err := NewFullStack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := sim.NewPhysicalServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(server, sim.RunConfig{
+		Duration: 3600,
+		Workload: workload.Constant{U: 0.7},
+		Policy:   pol,
+		Record:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ViolationFrac > 0.05 {
+		t.Fatalf("cold start violated %.1f%% of the hour; throttling latch is back",
+			res.Metrics.ViolationFrac*100)
+	}
+	// The transient must actually end: after a grace window generous
+	// against the sink time constant, delivery is never capped again.
+	caps := res.Traces.Get("cap")
+	const grace = 600
+	for k := 0; k < caps.Len(); k++ {
+		if p := caps.At(k); p.T > grace && p.V < 0.7 {
+			t.Fatalf("cap still %0.2f at t=%.0fs — release path latched", p.V, p.T)
+		}
+	}
+}
+
+// TestSpeculativeBisectionOnSimPlant: the speculative ultimate-gain
+// search must be bit-identical to serial on the real simulated plant —
+// non-ideal sensing, warm start and all — which also validates the
+// premise that independently spawned sim plants respond identically
+// after Reset. (core.TuneRegions only enables speculation above a core
+// budget; this forces it on regardless.)
+func TestSpeculativeBisectionOnSimPlant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning runs in -short mode")
+	}
+	cfg := sim.Default()
+	const v, util = 2000, 0.7
+	cpu, _, err := cfg.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same equilibrium set-point and bracket TuneRegions derives.
+	load := cpu.Power(util)
+	sink := thermal.SteadyState(cfg.Ambient, cfg.HeatSinkLaw.Resistance(v), load)
+	ref := thermal.SteadyState(sink, cfg.DieRes, load)
+	ku := 1 / -cfg.HeatSinkLaw.Sensitivity(v, load)
+	mkPlant := func() (tuning.Plant, error) { return sim.NewPlant(cfg, util, v, 30) }
+	base := tuning.ZNConfig{
+		RefTemp:    ref,
+		RefSpeed:   v,
+		Limits:     control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed},
+		KPLo:       ku / 30,
+		KPHi:       ku * 10,
+		Prominence: 1.2,
+		Iterations: 8,
+	}
+	ps, err := mkPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := tuning.FindUltimate(ps, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := base
+	spec.Spawn = mkPlant
+	spec.Parallel = func(n int, fn func(i int)) error { return sim.ParallelFor(n, 0, fn) }
+	pp, err := mkPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tuning.FindUltimate(pp, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != serial {
+		t.Errorf("speculative ultimate %+v != serial %+v", got, serial)
 	}
 }
 

@@ -248,6 +248,11 @@ func NewMAPredictor(n int) *MAPredictor { return &MAPredictor{ma: NewMovingAvera
 // Observe implements Predictor.
 func (p *MAPredictor) Observe(x float64) float64 { return p.ma.Update(x) }
 
+// Reset clears the predictor's window in place — indistinguishable from a
+// freshly constructed predictor, without the allocation (policy Reset sits
+// on the warm batch re-step path).
+func (p *MAPredictor) Reset() { p.ma.Reset() }
+
 // LastValuePredictor predicts the next sample to equal the current one
 // (the naive baseline the moving-average predictor is compared against).
 type LastValuePredictor struct{}

@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// naiveRun reimplements the pre-lockstep relaxation loop — every pass
+// rebuilds every node (server, workload generator, policy) and runs a
+// fresh sim.RunBatch, recording only on the final pass — as the reference
+// the warm-instance rewrite must match bit for bit.
+func naiveRun(t *testing.T, c Config) *Result {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	passes := 1
+	if c.Recirc > 0 {
+		if c.RecircPasses > 0 {
+			passes += c.RecircPasses
+		} else {
+			passes += DefaultRecircPasses
+		}
+	}
+	meanPower := make([]units.Watt, len(c.Nodes))
+	var results []*sim.Result
+	var inlets []units.Celsius
+	for p := 0; p < passes; p++ {
+		inlets = c.Inlets(meanPower)
+		final := p == passes-1
+		jobs := make([]sim.Job, len(c.Nodes))
+		for i, n := range c.Nodes {
+			cfg := n.Config
+			cfg.Ambient = inlets[i]
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			gen, err := n.Workload(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, err := n.Policy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs[i] = sim.Job{
+				Name:   n.Name,
+				Server: sim.Factory(cfg),
+				Config: sim.RunConfig{
+					Duration:    c.Duration,
+					Workload:    gen,
+					Policy:      pol,
+					Record:      final && c.Record,
+					RecordPower: final,
+					WarmStart:   n.WarmStart,
+				},
+			}
+		}
+		var err error
+		results, err = sim.RunBatch(jobs, sim.BatchOptions{Workers: c.Workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			meanPower[i] = units.Watt(float64(r.Metrics.CPUEnergy+r.Metrics.FanEnergy) / float64(c.Duration))
+		}
+	}
+	res, err := c.aggregate(inlets, results, passes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFixedPointMatchesNaiveRebuild is the warm-instance acceptance bar:
+// the relaxation's pass count, resolved inlet field, per-node metrics and
+// rack aggregates must all be unchanged by holding one warm lockstep
+// instance instead of rebuilding the rack every pass.
+func TestFixedPointMatchesNaiveRebuild(t *testing.T) {
+	for _, passes := range []int{0, 2} { // default depth and a deeper relaxation
+		cfg := testRack(t, 5, 1)
+		cfg.RecircPasses = passes
+		want := naiveRun(t, cfg)
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Passes != want.Passes {
+			t.Fatalf("RecircPasses=%d: warm rewrite ran %d passes, naive %d", passes, got.Passes, want.Passes)
+		}
+		for i := range want.Nodes {
+			if got.Nodes[i].Inlet != want.Nodes[i].Inlet {
+				t.Errorf("RecircPasses=%d node %q: inlet %v != naive %v",
+					passes, want.Nodes[i].Name, got.Nodes[i].Inlet, want.Nodes[i].Inlet)
+			}
+			if got.Nodes[i].Metrics != want.Nodes[i].Metrics {
+				t.Errorf("RecircPasses=%d node %q: metrics differ from naive rebuild",
+					passes, want.Nodes[i].Name)
+			}
+		}
+		if got.ViolationFrac != want.ViolationFrac ||
+			got.FanEnergy != want.FanEnergy ||
+			got.CPUEnergy != want.CPUEnergy ||
+			got.PeakRackPower != want.PeakRackPower ||
+			got.MeanRackPower != want.MeanRackPower ||
+			got.MaxJunction != want.MaxJunction {
+			t.Errorf("RecircPasses=%d: rack aggregates differ from naive rebuild", passes)
+		}
+	}
+}
+
+// TestFixedPointConvergence: with a tolerance the relaxation runs until
+// the inlet field settles, reports how many passes that took, and the
+// resolved field is genuinely self-consistent (one more projection moves
+// it less than the tolerance).
+func TestFixedPointConvergence(t *testing.T) {
+	cfg := testRack(t, 5, 1)
+	cfg.RecircTol = 0.05
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 2 {
+		t.Errorf("converged in %d passes; recirculation should need at least 2", res.Passes)
+	}
+	if res.Passes > DefaultMaxRecircPasses {
+		t.Errorf("passes %d exceeds bound %d", res.Passes, DefaultMaxRecircPasses)
+	}
+	// Self-consistency: projecting the final mean powers through the inlet
+	// model again must stay within the tolerance of the reported field.
+	meanPower := make([]units.Watt, len(cfg.Nodes))
+	inlets := make([]units.Celsius, len(cfg.Nodes))
+	for i, n := range res.Nodes {
+		meanPower[i] = units.Watt(float64(n.Metrics.CPUEnergy+n.Metrics.FanEnergy) / float64(cfg.Duration))
+		inlets[i] = n.Inlet
+	}
+	next := cfg.Inlets(meanPower)
+	if d := maxDelta(next, inlets); d > float64(cfg.RecircTol) {
+		t.Errorf("reported inlet field moves %.4g degC under one more projection, tol %v", d, cfg.RecircTol)
+	}
+}
+
+// TestFixedPointDivergenceGuard: when the pass budget cannot reach the
+// tolerance the relaxation must error loudly instead of silently returning
+// a non-converged field.
+func TestFixedPointDivergenceGuard(t *testing.T) {
+	cfg := testRack(t, 5, 1)
+	// One pass can never satisfy the tolerance: the first projection adds
+	// the (nonzero) recirculation contributions to the position-only field.
+	cfg.RecircTol = 1e-12
+	cfg.MaxRecircPasses = 1
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("non-converged relaxation returned silently")
+	}
+	if !strings.Contains(err.Error(), "did not converge") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestFixedPointTolValidation: negative or non-finite tolerances and
+// negative pass bounds are rejected.
+func TestFixedPointTolValidation(t *testing.T) {
+	cfg := testRack(t, 3, 1)
+	cfg.RecircTol = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	cfg = testRack(t, 3, 1)
+	cfg.MaxRecircPasses = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative max passes accepted")
+	}
+}

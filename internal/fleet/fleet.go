@@ -16,9 +16,13 @@
 // in its aisle (Config.Recirc, resolved by fixed-point relaxation over
 // whole-rack simulation passes — see Run).
 //
-// Every node of a fleet run is an independent sim.RunBatch job, so a rack
-// inherits the batch engine's guarantees: results are order-stable and
-// bit-identical between Workers = 1 and Workers = N, and -race clean.
+// Every node of a fleet run is an independent lane of one warm
+// sim.Lockstep batch: servers are constructed and workload schedules
+// precompiled once per Run, and each relaxation pass re-steps the same
+// instance with updated inlets and fresh policies. The rack inherits the
+// batch engine's guarantees — results are order-stable, bit-identical
+// between Workers = 1 and Workers = N (and to per-pass sim.RunBatch
+// rebuilds), and -race clean.
 package fleet
 
 import (
@@ -57,7 +61,11 @@ func (a Aisle) String() string {
 
 // WorkloadFactory builds a node's workload generator from its resolved
 // configuration (the Tick is needed by per-tick noise overlays). Factories
-// may be shared across nodes: generators are read-only during a run.
+// may be shared across nodes: generators are read-only during a run. A
+// factory is invoked once per Run — with the node's position inlet in
+// cfg.Ambient — and its generator is precompiled into a demand schedule
+// reused across every relaxation pass, so generators must not depend on
+// the ambient temperature (demand is exogenous to the machine room).
 type WorkloadFactory func(cfg sim.Config) (workload.Generator, error)
 
 // PolicyFactory builds a node's private DTM policy from its resolved
@@ -102,6 +110,18 @@ type Config struct {
 	// inlet field computed from the previous pass's mean node powers).
 	// Zero means DefaultRecircPasses when Recirc > 0.
 	RecircPasses int
+	// RecircTol, when positive, switches the relaxation from a fixed pass
+	// count to convergence: passes repeat until the inlet field moves
+	// less than RecircTol between consecutive passes. Run errors if
+	// MaxRecircPasses whole-rack passes cannot reach the tolerance — the
+	// divergence guard for recirculation coefficients so strong the fixed
+	// point runs away instead of settling. With Recirc == 0 there is no
+	// coupling to relax: the position-only inlet field is exact after the
+	// single pass, so any tolerance is trivially met (Passes reports 1).
+	RecircTol units.Celsius
+	// MaxRecircPasses bounds the RecircTol relaxation (default
+	// DefaultMaxRecircPasses). Ignored in fixed-pass mode.
+	MaxRecircPasses int
 	// Duration is the simulated horizon per node.
 	Duration units.Seconds
 	// Workers caps batch concurrency; zero means GOMAXPROCS; results are
@@ -118,6 +138,13 @@ type Config struct {
 // few kelvin, so deeper fixed-point iterations move inlets by well under
 // the sensor quantization step.
 const DefaultRecircPasses = 1
+
+// DefaultMaxRecircPasses bounds the RecircTol convergence loop when
+// Config.MaxRecircPasses is unset. A physically sensible rack converges in
+// a handful of passes; hitting this bound means the recirculation gain is
+// strong enough that each pass amplifies the inlet field instead of
+// settling it, and Run reports the divergence instead of looping silently.
+const DefaultMaxRecircPasses = 25
 
 // DefaultOffsets returns a typical containment gradient: cold-aisle faces
 // at supply temperature, mid positions +4 °C, hot-aisle positions +8 °C.
@@ -149,6 +176,12 @@ func (c Config) Validate() error {
 	}
 	if c.RecircPasses < 0 {
 		return fmt.Errorf("fleet: negative recirculation passes %d", c.RecircPasses)
+	}
+	if c.RecircTol < 0 || !units.IsFinite(float64(c.RecircTol)) {
+		return fmt.Errorf("fleet: bad recirculation tolerance %v", c.RecircTol)
+	}
+	if c.MaxRecircPasses < 0 {
+		return fmt.Errorf("fleet: negative max recirculation passes %d", c.MaxRecircPasses)
 	}
 	names := make(map[string]int, len(c.Nodes))
 	tick := c.Nodes[0].Config.Tick

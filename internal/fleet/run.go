@@ -85,13 +85,15 @@ func (c Config) Inlets(meanPower []units.Watt) []units.Celsius {
 	return inlets
 }
 
-// buildJobs materializes one batch: per node, the spec's config with its
-// ambient set to the resolved inlet, a fresh workload generator, and a
-// fresh policy (batch jobs must not share mutable state). final marks the
-// last relaxation pass: only it records the power series the rack
-// aggregation consumes (full traces too when Config.Record asks);
-// intermediate passes feed back Metrics alone and record nothing.
-func (c Config) buildJobs(inlets []units.Celsius, final bool) ([]sim.Job, error) {
+// buildJobs materializes the rack as one lockstep batch: per node, the
+// spec's config with its ambient set to the resolved pass-0 inlet, a fresh
+// workload generator, and a fresh policy (batch jobs must not share
+// mutable state). Every pass records the power series the rack aggregation
+// consumes — the lockstep engine's recording buffers are preallocated once
+// and reset per pass, so this costs appends into warm storage and only the
+// final pass's series survives into the result. Full trace capture (when
+// Config.Record asks) is toggled per pass with Lockstep.SetRecord from Run.
+func (c Config) buildJobs(inlets []units.Celsius) ([]sim.Job, error) {
 	jobs := make([]sim.Job, len(c.Nodes))
 	for i, n := range c.Nodes {
 		cfg := n.Config
@@ -114,8 +116,7 @@ func (c Config) buildJobs(inlets []units.Celsius, final bool) ([]sim.Job, error)
 				Duration:    c.Duration,
 				Workload:    gen,
 				Policy:      pol,
-				Record:      final && c.Record,
-				RecordPower: final,
+				RecordPower: true,
 				WarmStart:   n.WarmStart,
 			},
 		}
@@ -123,14 +124,38 @@ func (c Config) buildJobs(inlets []units.Celsius, final bool) ([]sim.Job, error)
 	return jobs, nil
 }
 
-// Run simulates the rack. With Recirc > 0 it relaxes the recirculation
-// fixed point: pass 0 runs every node at its position inlet, each further
-// pass recomputes the inlet field from the previous pass's mean node
-// powers and re-simulates. All passes execute as parallel batches; the
-// result is bit-identical for any Workers value.
-func Run(c Config) (*Result, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
+// rehome prepares the warm rack instance for the next relaxation pass:
+// every lane is re-homed at its new inlet and given a fresh policy built
+// against that operating point (the DTM's release-speed model reads the
+// ambient). Servers, schedules and recording buffers are reused.
+func (c Config) rehome(ls *sim.Lockstep, inlets []units.Celsius) error {
+	for i, n := range c.Nodes {
+		if err := ls.SetAmbient(i, inlets[i]); err != nil {
+			return fmt.Errorf("fleet: node %q at inlet %v: %w", n.Name, inlets[i], err)
+		}
+		cfg := n.Config
+		cfg.Ambient = inlets[i]
+		pol, err := n.Policy(cfg)
+		if err != nil {
+			return fmt.Errorf("fleet: node %q policy: %w", n.Name, err)
+		}
+		if err := ls.SetPolicy(i, pol); err != nil {
+			return fmt.Errorf("fleet: node %q: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// passBudget resolves the relaxation schedule: the maximum number of
+// whole-rack passes and whether the loop runs to tolerance (true) or for a
+// fixed pass count (false).
+func (c Config) passBudget() (int, bool) {
+	if c.Recirc > 0 && c.RecircTol > 0 {
+		max := c.MaxRecircPasses
+		if max == 0 {
+			max = DefaultMaxRecircPasses
+		}
+		return max, true
 	}
 	passes := 1
 	if c.Recirc > 0 {
@@ -140,22 +165,89 @@ func Run(c Config) (*Result, error) {
 			passes += DefaultRecircPasses
 		}
 	}
+	return passes, false
+}
+
+// maxDelta returns the largest absolute inlet movement between two fields.
+func maxDelta(a, b []units.Celsius) float64 {
+	d := 0.0
+	for i := range a {
+		if m := float64(a[i] - b[i]); m > d {
+			d = m
+		} else if -m > d {
+			d = -m
+		}
+	}
+	return d
+}
+
+// Run simulates the rack. With Recirc > 0 it relaxes the recirculation
+// fixed point: pass 1 runs every node at its position inlet, each further
+// pass recomputes the inlet field from the previous pass's mean node
+// powers and re-simulates. The whole relaxation executes on one warm
+// lockstep instance — servers are built and workload schedules compiled
+// once, and each pass re-steps the batch with updated inlets and fresh
+// policies — so extra passes cost simulation time only, no construction.
+// Results are bit-identical to rebuilding and re-running every pass from
+// scratch, and for any Workers value.
+//
+// With RecircTol > 0 the loop instead runs until the inlet field moves
+// less than the tolerance between passes, and errors if MaxRecircPasses
+// (default DefaultMaxRecircPasses) whole-rack passes cannot reach it —
+// a divergence guard for recirculation coefficients strong enough that
+// the fixed point runs away instead of settling.
+func Run(c Config) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	maxPasses, tolMode := c.passBudget()
+	inlets := c.Inlets(nil)
+	jobs, err := c.buildJobs(inlets)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := sim.NewLockstep(jobs, sim.BatchOptions{Workers: c.Workers})
+	if err != nil {
+		return nil, err
+	}
 
 	meanPower := make([]units.Watt, len(c.Nodes))
+	passes := 0
 	var results []*sim.Result
-	var inlets []units.Celsius
-	for p := 0; p < passes; p++ {
-		inlets = c.Inlets(meanPower)
-		jobs, err := c.buildJobs(inlets, p == passes-1)
+	for {
+		if c.Record {
+			// Full trace capture costs seven extra series per node per
+			// pass; in fixed-pass mode only the known-final pass needs it.
+			// Under a convergence tolerance the final pass is only known
+			// in hindsight, so every pass records (into reused buffers).
+			final := tolMode || passes+1 == maxPasses
+			for i := range c.Nodes {
+				ls.SetRecord(i, final, true)
+			}
+		}
+		results, err = ls.Run()
 		if err != nil {
 			return nil, err
 		}
-		results, err = sim.RunBatch(jobs, sim.BatchOptions{Workers: c.Workers})
-		if err != nil {
-			return nil, err
-		}
+		passes++
 		for i, r := range results {
 			meanPower[i] = units.Watt(float64(r.Metrics.CPUEnergy+r.Metrics.FanEnergy) / float64(c.Duration))
+		}
+		next := c.Inlets(meanPower)
+		if tolMode {
+			if maxDelta(next, inlets) <= float64(c.RecircTol) {
+				break
+			}
+			if passes >= maxPasses {
+				return nil, fmt.Errorf("fleet: recirculation fixed point did not converge within %d passes (inlet field still moving %.3g degC > tol %v)",
+					maxPasses, maxDelta(next, inlets), c.RecircTol)
+			}
+		} else if passes >= maxPasses {
+			break
+		}
+		inlets = next
+		if err := c.rehome(ls, inlets); err != nil {
+			return nil, err
 		}
 	}
 	return c.aggregate(inlets, results, passes)

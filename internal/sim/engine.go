@@ -118,8 +118,8 @@ func Run(server *PhysicalServer, rc RunConfig) (*Result, error) {
 		})
 		server.CommandFan(cmd.Fan)
 		server.SetCap(cmd.Cap)
-		res := server.Tick(demand)
-		prev = res
+		server.TickInto(demand, &prev)
+		res := &prev
 
 		if res.Violated {
 			violations++

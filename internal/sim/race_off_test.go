@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; allocation-count assertions are skipped under it because the
+// instrumentation perturbs escape analysis and allocation behavior.
+const raceEnabled = false

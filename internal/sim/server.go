@@ -112,6 +112,15 @@ type TickResult struct {
 // and the hardware throttle, steps the thermal model, and samples the
 // measurement chain. Time must advance by exactly cfg.Tick per call.
 func (s *PhysicalServer) Tick(demand units.Utilization) TickResult {
+	var out TickResult
+	s.TickInto(demand, &out)
+	return out
+}
+
+// TickInto is Tick writing into out instead of returning by value: the
+// engine and lockstep loops tick millions of times per run, and the
+// ~140-byte result copy is measurable there.
+func (s *PhysicalServer) TickInto(demand units.Utilization, out *TickResult) {
 	dt := s.cfg.Tick
 	t := s.lastT
 	if s.started {
@@ -149,7 +158,7 @@ func (s *PhysicalServer) Tick(demand units.Utilization) TickResult {
 	s.therm.Step(cpuP, s.fanAct, dt)
 	meas := s.pipe.Sample(t, float64(s.therm.Junction()))
 
-	return TickResult{
+	*out = TickResult{
 		T:           t,
 		Demand:      demand,
 		Delivered:   delivered,
@@ -179,6 +188,22 @@ func (s *PhysicalServer) ReplaceSensor(p *sensor.Pipeline) error {
 		return fmt.Errorf("sim: sensor replaced mid-run")
 	}
 	s.pipe = p
+	return nil
+}
+
+// SetAmbient re-homes the platform at a new inlet (ambient) temperature,
+// revalidating the configuration at the new operating point. The fleet
+// layer's warm rack instances call it between relaxation passes instead of
+// rebuilding the server; the change applies from the next thermal step (a
+// subsequent Reset or WarmStart re-initializes state against it).
+func (s *PhysicalServer) SetAmbient(t units.Celsius) error {
+	cfg := s.cfg
+	cfg.Ambient = t
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	s.therm.SetAmbient(t)
 	return nil
 }
 

@@ -1,0 +1,185 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// buildPair constructs a B-server batch network and B standalone reference
+// networks with identical topology (a loaded star around an ambient-coupled
+// sink) but per-server loads, initial temperatures and ambients.
+func buildPair(t testing.TB, n, b int) (*BatchNetwork, []*Network) {
+	t.Helper()
+	bn, err := NewBatchNetwork(n, b, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*Network, b)
+	for s := range refs {
+		refs[s], err = NewNetwork(n, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := n - 1
+	if err := bn.SetCapacitance(sink, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.ConnectAmbient(sink, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range refs {
+		if err := ref.SetCapacitance(sink, 500); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.ConnectAmbient(sink, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sink; i++ {
+		if err := bn.SetCapacitance(i, 50); err != nil {
+			t.Fatal(err)
+		}
+		if err := bn.Connect(i, sink, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range refs {
+			if err := ref.SetCapacitance(i, 50); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Connect(i, sink, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Per-server variation: loads, initial state and ambient all differ.
+	for s := 0; s < b; s++ {
+		amb := units.Celsius(20 + float64(s))
+		bn.SetAmbient(s, amb)
+		refs[s].SetAmbient(amb)
+		for i := 0; i < sink; i++ {
+			p := units.Watt(5 + float64(i) + 0.25*float64(s))
+			bn.SetLoad(i, s, p)
+			refs[s].SetLoad(i, p)
+			t0 := units.Celsius(25 + 0.5*float64(i) + 0.1*float64(s))
+			bn.SetTemperature(i, s, t0)
+			refs[s].SetTemperature(i, t0)
+		}
+	}
+	return bn, refs
+}
+
+// TestBatchNetworkBitIdentical: every server column of the lockstep batch
+// must track its standalone reference network bit for bit, across steps
+// that change loads and ambients mid-flight.
+func TestBatchNetworkBitIdentical(t *testing.T) {
+	for _, b := range []int{1, 3, 8} {
+		const n = 5
+		bn, refs := buildPair(t, n, b)
+		for step := 0; step < 50; step++ {
+			if step == 20 {
+				// Perturb one server's load and another's ambient.
+				bn.SetLoad(0, b-1, 42)
+				refs[b-1].SetLoad(0, 42)
+				bn.SetAmbient(0, 31)
+				refs[0].SetAmbient(31)
+			}
+			if err := bn.Step(1); err != nil {
+				t.Fatal(err)
+			}
+			for _, ref := range refs {
+				if err := ref.Step(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for s := 0; s < b; s++ {
+				for i := 0; i < n; i++ {
+					if got, want := bn.Temperature(i, s), refs[s].Temperature(i); got != want {
+						t.Fatalf("batch %d: step %d node %d server %d: %v != reference %v",
+							b, step, i, s, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchNetworkRetune: a shared ambient-resistance retune (the fleet
+// fan-speed pattern) must stay bit-identical and not disturb other state.
+func TestBatchNetworkRetune(t *testing.T) {
+	const n, b = 4, 3
+	bn, refs := buildPair(t, n, b)
+	law := TableIHeatSinkLaw()
+	for step := 0; step < 30; step++ {
+		r := law.Resistance(units.RPM(2000 + 200*step))
+		if err := bn.ConnectAmbient(n-1, r); err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range refs {
+			if err := ref.ConnectAmbient(n-1, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bn.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		for s, ref := range refs {
+			if err := ref.Step(1); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if got, want := bn.Temperature(i, s), ref.Temperature(i); got != want {
+					t.Fatalf("step %d node %d server %d: %v != %v", step, i, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchNetworkValidation: construction and mutation errors mirror
+// Network's.
+func TestBatchNetworkValidation(t *testing.T) {
+	if _, err := NewBatchNetwork(0, 4, 25); err == nil {
+		t.Error("0-node batch accepted")
+	}
+	if _, err := NewBatchNetwork(2, 0, 25); err == nil {
+		t.Error("0-server batch accepted")
+	}
+	bn, err := NewBatchNetwork(2, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.SetCapacitance(0, 0); err == nil {
+		t.Error("non-positive capacitance accepted")
+	}
+	if err := bn.Connect(0, 0, 1); err == nil {
+		t.Error("self-coupling accepted")
+	}
+	if err := bn.Connect(0, 1, 0); err == nil {
+		t.Error("non-positive resistance accepted")
+	}
+	if err := bn.ConnectAmbient(0, -1); err == nil {
+		t.Error("negative ambient resistance accepted")
+	}
+	if err := bn.Step(0); err == nil {
+		t.Error("non-positive step accepted")
+	}
+}
+
+// TestBatchNetworkStepNoAllocs: the lockstep integrator must be
+// allocation-free after the first Step.
+func TestBatchNetworkStepNoAllocs(t *testing.T) {
+	bn, _ := buildPair(t, 6, 8)
+	if err := bn.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := bn.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("BatchNetwork.Step allocates %v per call, want 0", avg)
+	}
+}

@@ -45,6 +45,15 @@ type Server struct {
 	params ServerParams
 	sink   *Node
 	die    *Node
+
+	// rhs memoizes Law.Resistance(v) for the last fan speed: the law's
+	// math.Pow dominates the closed-loop tick profile, and the fan holds
+	// its speed for the vast majority of ticks (decisions every 30 s,
+	// slew-limited moves lasting a few seconds). A hit is bit-identical
+	// to recomputing.
+	rhsV   units.RPM
+	rhs    units.KPerW
+	rhsSet bool
 }
 
 // NewServer returns a server model with both nodes at ambient.
@@ -78,7 +87,11 @@ func (s *Server) SetAmbient(t units.Celsius) { s.params.Ambient = t }
 // The sink integrates Eq. 2 with R_hs(v); the die then integrates against
 // the updated sink temperature. It returns the new junction temperature.
 func (s *Server) Step(p units.Watt, v units.RPM, dt units.Seconds) units.Celsius {
-	rhs := s.params.Law.Resistance(v)
+	if !s.rhsSet || v != s.rhsV {
+		s.rhsV, s.rhs = v, s.params.Law.Resistance(v)
+		s.rhsSet = true
+	}
+	rhs := s.rhs
 	s.sink.Step(s.params.Ambient, rhs, s.params.SinkCap, p, dt)
 	s.die.Step(s.sink.Temperature(), s.params.DieRes, s.params.DieCap, p, dt)
 	return s.die.Temperature()

@@ -29,6 +29,21 @@ type Series struct {
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
+// NewSeriesCap returns an empty named series preallocated for n samples,
+// so recorders with a known horizon (one append per simulated tick) never
+// reallocate mid-run. n <= 0 degenerates to NewSeries.
+func NewSeriesCap(name string, n int) *Series {
+	if n <= 0 {
+		return NewSeries(name)
+	}
+	return &Series{Name: name, points: make([]Point, 0, n)}
+}
+
+// Reset truncates the series to zero samples while keeping its capacity,
+// so a warm recorder (the lockstep engine re-stepping a batch) reuses its
+// storage run after run with zero steady-state allocations.
+func (s *Series) Reset() { s.points = s.points[:0] }
+
 // FromSlices builds a series from parallel time and value slices.
 func FromSlices(name string, ts, vs []float64) (*Series, error) {
 	if len(ts) != len(vs) {

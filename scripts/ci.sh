@@ -10,6 +10,12 @@ go build ./...
 go test -race ./...
 go test -run xxx -bench . -benchtime 1x -benchmem .
 
+# Lockstep-vs-batch equivalence smoke: the lockstep engine must stay
+# bit-identical to RunBatch (and the fleet fixed point to its per-pass
+# rebuild reference) — run those equivalence suites explicitly, without
+# the race detector, so the allocation bars are asserted too.
+go test -run 'Lockstep|FixedPoint|BatchNetwork' ./internal/sim ./internal/fleet ./internal/thermal
+
 # Fleet-layer smoke: build and run the rack subcommand and the datacenter
 # example with fixed seeds on short horizons, and fail if either produces
 # no output. This gates the fleet topology layer end to end (CLI wiring,
