@@ -5,13 +5,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare ci
 
 # Benchmarks recorded into the machine-readable perf trajectory
 # (BENCH_*.json via `make bench-json`); keep the hot-path and engine
 # comparison benchmarks here so every PR's baseline is diffable.
-BENCH_JSON_PATTERN = 'BenchmarkNetworkStep$$|BenchmarkBatchNetworkStep|BenchmarkServerTick|BenchmarkEngineThroughput|BenchmarkMulticoreTick|BenchmarkTable3Serial|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint'
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_JSON_PATTERN = 'BenchmarkNetworkStep$$|BenchmarkBatchNetworkStep|BenchmarkServerTick|BenchmarkEngineThroughput|BenchmarkMulticoreTick|BenchmarkTable3Serial|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun'
+BENCH_OUT ?= BENCH_PR4.json
 
 all: ci
 
@@ -44,6 +44,15 @@ bench-smoke:
 bench-json:
 	$(GO) test -run xxx -bench $(BENCH_JSON_PATTERN) -benchtime 2s -benchmem . > bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
+	@rm -f bench.out
+
+# Diff fresh trajectory numbers against a committed baseline; fails on a
+# >BENCH_THRESHOLD regression in time or allocations per benchmark.
+BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_THRESHOLD ?= 0.15
+bench-compare:
+	$(GO) test -run xxx -bench $(BENCH_JSON_PATTERN) -benchtime 1s -benchmem . > bench.out
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD) < bench.out
 	@rm -f bench.out
 
 ci:

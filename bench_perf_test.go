@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/multicore"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
@@ -489,5 +490,66 @@ func BenchmarkFleetRun(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// scenarioStoreSpec is the fixture for the store benchmarks: one hour of
+// the full DTM stack under a noisy square wave — a realistic sweep cell,
+// expensive enough that serving it from the store must win by orders of
+// magnitude.
+func scenarioStoreSpec() scenario.Spec {
+	return scenario.Spec{
+		Kind:     scenario.KindSingle,
+		Name:     "bench-store",
+		Duration: 3600,
+		Jobs: []scenario.JobSpec{{
+			Workload: scenario.FactoryRef{Name: "noisy-square", Seed: 42,
+				Params: scenario.Params{"period": 600, "sigma": 0.04}},
+			Policy:    scenario.FactoryRef{Name: "full"},
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		}},
+	}
+}
+
+// BenchmarkScenarioStoreHit measures a warm store lookup through the
+// sweep path: hash the spec, read the cell, decode the outcome. This is
+// what every finished cell of a resumed sweep costs — compare against
+// BenchmarkScenarioRerun, the price of not having the store.
+func BenchmarkScenarioStoreHit(b *testing.B) {
+	st, err := scenario.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := scenarioStoreSpec()
+	warm, err := scenario.Sweep([]scenario.Spec{spec}, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm.Misses != 1 {
+		b.Fatalf("warm-up misses = %d", warm.Misses)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Sweep([]scenario.Spec{spec}, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Hits != 1 {
+			b.Fatal("cold cell in a warm store")
+		}
+	}
+}
+
+// BenchmarkScenarioRerun is the storeless baseline for the same cell:
+// the full simulation executes every op.
+func BenchmarkScenarioRerun(b *testing.B) {
+	spec := scenarioStoreSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(spec); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

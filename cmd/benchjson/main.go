@@ -6,11 +6,19 @@
 // Usage:
 //
 //	go test -run xxx -bench <pattern> -benchmem . | go run ./cmd/benchjson -out BENCH.json
+//	go test -run xxx -bench <pattern> -benchmem . | go run ./cmd/benchjson -compare BENCH_PR3.json
 //
 // Lines that are not benchmark results (the goos/goarch/pkg/cpu header is
 // captured into the environment block; PASS/FAIL and everything else is
 // ignored) pass through silently, so the tool can sit at the end of any
 // bench pipeline.
+//
+// With -compare, the freshly parsed results are diffed against a
+// previously committed baseline: one line per benchmark present in both
+// documents with the ns/op and allocs/op deltas, then a non-zero exit if
+// any benchmark regressed by more than -threshold (default 15%) in wall
+// time or allocations. Benchmarks present on only one side are listed but
+// never fail the comparison (patterns evolve across PRs).
 package main
 
 import (
@@ -93,8 +101,65 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// compare diffs the fresh results against a baseline document and
+// reports whether any benchmark regressed beyond the threshold.
+func compare(old, fresh Document, threshold float64) (regressed bool) {
+	byName := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		byName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs")
+	for _, r := range fresh.Benchmarks {
+		seen[r.Name] = true
+		o, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14.0f %8s %10s\n", r.Name, "(new)", r.NsPerOp, "-", allocsCell(nil, r.AllocsPerOp))
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		mark := ""
+		if o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*(1+threshold) {
+			mark = "  REGRESSION(time)"
+			regressed = true
+		}
+		if o.AllocsPerOp != nil && r.AllocsPerOp != nil &&
+			*r.AllocsPerOp > *o.AllocsPerOp*(1+threshold)+1e-9 {
+			mark += "  REGRESSION(allocs)"
+			regressed = true
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %10s%s\n",
+			r.Name, o.NsPerOp, r.NsPerOp, delta, allocsCell(o.AllocsPerOp, r.AllocsPerOp), mark)
+	}
+	for _, r := range old.Benchmarks {
+		if !seen[r.Name] {
+			fmt.Printf("%-40s %14.0f %14s\n", r.Name, r.NsPerOp, "(gone)")
+		}
+	}
+	return regressed
+}
+
+// allocsCell renders an old->new allocs/op pair.
+func allocsCell(prev, cur *float64) string {
+	switch {
+	case prev == nil && cur == nil:
+		return "-"
+	case prev == nil:
+		return fmt.Sprintf("?->%.0f", *cur)
+	case cur == nil:
+		return fmt.Sprintf("%.0f->?", *prev)
+	default:
+		return fmt.Sprintf("%.0f->%.0f", *prev, *cur)
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	comparePath := flag.String("compare", "", "baseline JSON to diff against; exits non-zero on regression")
+	threshold := flag.Float64("threshold", 0.15, "regression threshold for -compare (fraction of the baseline)")
 	flag.Parse()
 
 	doc := Document{Env: make(map[string]string)}
@@ -119,6 +184,26 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
+	}
+	if *comparePath != "" {
+		b, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var old Document
+		if err := json.Unmarshal(b, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: decoding %s: %v\n", *comparePath, err)
+			os.Exit(1)
+		}
+		if compare(old, doc, *threshold) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% against %s\n",
+				*threshold*100, *comparePath)
+			os.Exit(1)
+		}
+		if *out == "" {
+			return
+		}
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,20 +1,17 @@
 // Command experiments regenerates every figure and table of the paper's
 // evaluation section (Sec. VI) from the simulator: ASCII plots for the
 // figures, aligned text tables for Table III, and optional CSV dumps for
-// external plotting.
+// external plotting. Every subcommand routes through the unified
+// scenario layer (internal/scenario): it builds a declarative spec,
+// scenario.Run selects the fastest eligible engine, and the sweep
+// subcommands can persist results in a content-addressed store so
+// repeated grids resume instead of recomputing.
 //
-// Usage:
-//
-//	experiments [fig1|fig3|fig4|fig5|table3|table3mc|fleet|fleetsweep|all] [-csv dir] [-seeds n]
-//
-// Independent simulation runs inside each experiment execute in parallel
-// through the sim batch engine; table3mc additionally fans a Monte Carlo
-// seed sweep (-seeds) across all cores and reports mean ± stddev.
-//
-// fleet simulates a rack of heterogeneous servers coupled through a
-// shared inlet-temperature field (-nodes, -layout, -seed, -spread,
-// -recirc, -workers, -duration); fleetsweep spans rack size × inlet
-// spread (-sizes, -spreads) and tabulates one row per grid point.
+// Run without arguments for the figure set, or with a subcommand name;
+// any unknown subcommand prints the generated listing of subcommands,
+// their flags, and the scenario registry (workloads, policies, kinds) —
+// the listing is built from the live flag sets and registry, so it
+// cannot drift from the implementation.
 package main
 
 import (
@@ -27,63 +24,225 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
 
-var (
-	mcSeeds = flag.Int("seeds", 8, "Monte Carlo seed count for table3mc")
+// command is one subcommand: its flag set carries exactly the flags the
+// implementation reads, so the generated usage listing is always current.
+type command struct {
+	name    string
+	summary string
+	flags   *flag.FlagSet
+	run     func() error
+}
 
-	fleetNodes    = flag.Int("nodes", 6, "fleet: rack size")
-	fleetLayout   = flag.String("layout", "cold,mid,hot", "fleet: aisle assignment pattern, cycled over nodes")
-	fleetSeed     = flag.Int64("seed", 1, "fleet: root seed for per-node workload streams")
-	fleetWorkers  = flag.Int("workers", 0, "fleet: batch worker cap (0 = all cores; results identical)")
-	fleetRecirc   = flag.Float64("recirc", 0.01, "fleet: inlet rise per watt of upstream mean power (K/W)")
-	fleetSpread   = flag.Float64("spread", 8, "fleet: hot-aisle inlet offset over supply (mid = half)")
-	fleetDuration = flag.Float64("duration", 3600, "fleet: per-node horizon in seconds")
-	sweepSizes    = flag.String("sizes", "2,4,8", "fleetsweep: rack sizes")
-	sweepSpreads  = flag.String("spreads", "0,4,8", "fleetsweep: hot-aisle inlet spreads (°C)")
-)
+// commands is populated in main (fixed order for the usage listing).
+var commands []*command
+
+// newCommand registers a subcommand.
+func newCommand(name, summary string, setup func(*flag.FlagSet), run func() error) *command {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	if setup != nil {
+		setup(fs)
+	}
+	c := &command{name: name, summary: summary, flags: fs, run: run}
+	commands = append(commands, c)
+	return c
+}
+
+// usage prints the generated subcommand/flag listing plus the scenario
+// registry contents.
+func usage(w *os.File) {
+	fmt.Fprintf(w, "usage: experiments [subcommand] [flags]\n\nSubcommands:\n")
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-12s %s\n", c.name, c.summary)
+		c.flags.VisitAll(func(f *flag.Flag) {
+			def := ""
+			if f.DefValue != "" {
+				def = fmt.Sprintf(" (default %s)", f.DefValue)
+			}
+			fmt.Fprintf(w, "      -%-10s %s%s\n", f.Name, f.Usage, def)
+		})
+	}
+	fmt.Fprintf(w, "\nScenario registry (internal/scenario):\n")
+	fmt.Fprintf(w, "  kinds:\n")
+	for _, r := range scenario.KindList() {
+		fmt.Fprintf(w, "    %-14s %s\n", r.Name, r.Doc)
+	}
+	fmt.Fprintf(w, "  workloads:\n")
+	for _, r := range scenario.Workloads() {
+		fmt.Fprintf(w, "    %-14s %s\n", r.Name, r.Doc)
+	}
+	fmt.Fprintf(w, "  policies:\n")
+	for _, r := range scenario.Policies() {
+		fmt.Fprintf(w, "    %-14s %s\n", r.Name, r.Doc)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	csvDir := flag.String("csv", "", "directory to write trace CSVs into (optional)")
-	flag.Parse()
 
-	which := "all"
-	if flag.NArg() > 0 {
-		which = flag.Arg(0)
-		// Flag parsing stops at the subcommand word; re-parse the rest so
-		// "experiments fleet -nodes 8" works as the usage line promises.
-		_ = flag.CommandLine.Parse(flag.Args()[1:])
+	var (
+		csvDir string
+
+		mcSeeds int
+
+		faultDuration, faultStuckAt, faultStuckLen float64
+		faultDropout                               float64
+		faultSeed                                  int64
+
+		fleetNodes    int
+		fleetLayout   string
+		fleetSeed     int64
+		fleetWorkers  int
+		fleetRecirc   float64
+		fleetSpread   float64
+		fleetDuration float64
+		storeDir      string
+		sweepSizes    string
+		sweepSpreads  string
+
+		scAmbients string
+		scSeeds    int
+		scSeed0    int64
+		scDuration float64
+	)
+
+	csvFlag := func(fs *flag.FlagSet) {
+		fs.StringVar(&csvDir, "csv", "", "directory to write trace CSVs into (optional)")
 	}
-	run := map[string]func(string) error{
-		"fig1":       fig1,
-		"fig3":       fig3,
-		"fig4":       fig4,
-		"fig5":       fig5,
-		"table3":     table3,
-		"table3mc":   table3mc,
-		"fleet":      fleetRack,
-		"fleetsweep": fleetSweep,
+	fleetFlags := func(fs *flag.FlagSet) {
+		fs.StringVar(&fleetLayout, "layout", "cold,mid,hot", "aisle assignment pattern, cycled over nodes")
+		fs.Int64Var(&fleetSeed, "seed", 1, "root seed for per-node workload streams")
+		fs.IntVar(&fleetWorkers, "workers", 0, "batch worker cap (0 = all cores; results identical)")
+		fs.Float64Var(&fleetRecirc, "recirc", 0.01, "inlet rise per watt of upstream mean power (K/W)")
+		fs.Float64Var(&fleetDuration, "duration", 3600, "per-node horizon in seconds")
 	}
-	if which == "all" {
-		for _, name := range []string{"fig1", "fig3", "fig4", "fig5", "table3"} {
-			if err := run[name](*csvDir); err != nil {
-				log.Fatalf("%s: %v", name, err)
+
+	newCommand("fig1", "telemetry lag of the I2C power-sensor path", csvFlag,
+		func() error { return fig1(csvDir) })
+	newCommand("fig3", "fixed-gain vs adaptive PID fan control", csvFlag,
+		func() error { return fig3(csvDir) })
+	newCommand("fig4", "deadzone fan controller limit cycle", csvFlag,
+		func() error { return fig4(csvDir) })
+	newCommand("fig5", "proposed stack under dynamic noisy load", csvFlag,
+		func() error { return fig5(csvDir) })
+	// table3 accepts -csv for symmetry with the figure subcommands (the
+	// "all" path hands every subcommand the same flags) but writes no CSV.
+	newCommand("table3", "the five-solution coordination comparison", csvFlag, table3)
+	newCommand("table3mc", "Table III across Monte Carlo seeds", func(fs *flag.FlagSet) {
+		fs.IntVar(&mcSeeds, "seeds", 8, "Monte Carlo seed count")
+	}, func() error { return table3mc(mcSeeds) })
+	faultDefaults := experiments.DefaultFaults()
+	newCommand("faults", "full stack through a stuck sensor + dropout", func(fs *flag.FlagSet) {
+		fs.Float64Var(&faultDuration, "duration", float64(faultDefaults.Duration), "horizon in seconds")
+		fs.Float64Var(&faultStuckAt, "stuckat", float64(faultDefaults.StuckAt), "stuck-sensor onset (s)")
+		fs.Float64Var(&faultStuckLen, "stucklen", float64(faultDefaults.StuckLen), "stuck-sensor duration (s)")
+		fs.Float64Var(&faultDropout, "dropout", faultDefaults.DropoutRate, "sample dropout rate")
+		fs.Int64Var(&faultSeed, "seed", faultDefaults.Seed, "noise/dropout seed")
+	}, func() error {
+		return faults(experiments.FaultConfig{
+			Duration:    units.Seconds(faultDuration),
+			StuckAt:     units.Seconds(faultStuckAt),
+			StuckLen:    units.Seconds(faultStuckLen),
+			DropoutRate: faultDropout,
+			Seed:        faultSeed,
+		})
+	})
+	newCommand("fleet", "heterogeneous rack with shared inlet field", func(fs *flag.FlagSet) {
+		fs.IntVar(&fleetNodes, "nodes", 6, "rack size")
+		fs.Float64Var(&fleetSpread, "spread", 8, "hot-aisle inlet offset over supply (mid = half)")
+		fleetFlags(fs)
+	}, func() error {
+		return fleetRack(fleetNodes, fleetSpread, fleetLayout, fleetSeed, fleetRecirc, fleetDuration, fleetWorkers)
+	})
+	newCommand("fleetsweep", "rack size x inlet spread grid (resumable with -store)", func(fs *flag.FlagSet) {
+		fs.StringVar(&sweepSizes, "sizes", "2,4,8", "rack sizes")
+		fs.StringVar(&sweepSpreads, "spreads", "0,4,8", "hot-aisle inlet spreads (degC)")
+		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (optional)")
+		fleetFlags(fs)
+	}, func() error {
+		return fleetSweep(sweepSizes, sweepSpreads, fleetLayout, fleetSeed, fleetRecirc, fleetDuration, fleetWorkers, storeDir)
+	})
+	newCommand("sweep", "Table III scenario grid over ambient x seed (resumable with -store)", func(fs *flag.FlagSet) {
+		fs.StringVar(&scAmbients, "ambients", "30,33", "inlet temperatures (degC)")
+		fs.IntVar(&scSeeds, "nseeds", 2, "seeds per ambient (seed0..seed0+n-1)")
+		fs.Int64Var(&scSeed0, "seed0", 42, "first workload seed")
+		fs.Float64Var(&scDuration, "duration", 1200, "horizon in seconds")
+		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (optional)")
+	}, func() error {
+		return scenarioSweep(scAmbients, scSeeds, scSeed0, scDuration, storeDir)
+	})
+
+	// The subcommand word may sit before, between or after flags
+	// ("experiments -csv dir fig4" worked historically): scan the args
+	// for the first bare word that is not a flag's value, hand
+	// everything else to that command's flag set. Every flag of this
+	// tool takes a value, so a bare word immediately after a "-flag"
+	// token (with no "=value") is that flag's value, never a
+	// subcommand. A help request anywhere wins first.
+	args := os.Args[1:]
+	chosen := ""
+	rest := make([]string, 0, len(args))
+	prevWantsValue := false
+	for _, a := range args {
+		// A flag name cannot start with a digit, so "-3" / "-.5" are
+		// negative values (e.g. "-seed -3"), not flags.
+		isFlag := len(a) > 1 && a[0] == '-' &&
+			!(a[1] >= '0' && a[1] <= '9') && a[1] != '.'
+		switch {
+		case a == "help" || a == "-h" || a == "-help" || a == "--help":
+			usage(os.Stdout)
+			return
+		case !isFlag && !prevWantsValue && chosen == "":
+			if find(a) == nil && a != "all" {
+				log.Printf("unknown subcommand %q", a)
+				usage(os.Stderr)
+				os.Exit(2)
 			}
+			chosen = a
+		default:
+			rest = append(rest, a)
+		}
+		prevWantsValue = isFlag && !strings.Contains(a, "=")
+	}
+
+	dispatch := func(name string) {
+		c := find(name)
+		if err := c.flags.Parse(rest); err != nil {
+			log.Fatal(err)
+		}
+		if stray := c.flags.Args(); len(stray) > 0 {
+			log.Printf("stray argument %q (one subcommand per invocation)", stray[0])
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		if err := c.run(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	if chosen == "" || chosen == "all" {
+		for _, name := range []string{"fig1", "fig3", "fig4", "fig5", "table3"} {
+			dispatch(name)
 		}
 		return
 	}
-	f, ok := run[which]
-	if !ok {
-		log.Fatalf("unknown experiment %q (want fig1|fig3|fig4|fig5|table3|table3mc|fleet|fleetsweep|all)", which)
+	dispatch(chosen)
+}
+
+// find returns the named command, or nil.
+func find(name string) *command {
+	for _, c := range commands {
+		if c.name == name {
+			return c
+		}
 	}
-	if err := f(*csvDir); err != nil {
-		log.Fatalf("%s: %v", which, err)
-	}
+	return nil
 }
 
 func dumpCSV(dir, name string, ts *trace.Set) error {
@@ -174,7 +333,7 @@ func fig5(csvDir string) error {
 	return dumpCSV(csvDir, "fig5", res.Traces)
 }
 
-func table3(string) error {
+func table3() error {
 	res, err := experiments.Table3(experiments.DefaultTable3())
 	if err != nil {
 		return err
@@ -189,8 +348,8 @@ func table3(string) error {
 	return nil
 }
 
-func table3mc(string) error {
-	res, err := experiments.Table3MC(experiments.DefaultTable3(), *mcSeeds)
+func table3mc(nSeeds int) error {
+	res, err := experiments.Table3MC(experiments.DefaultTable3(), nSeeds)
 	if err != nil {
 		return err
 	}
@@ -210,21 +369,42 @@ func table3mc(string) error {
 	return nil
 }
 
-// parseLayout maps a comma-separated aisle pattern ("cold,mid,hot") to
-// the fleet layout cycled over rack positions.
-func parseLayout(s string) ([]fleet.Aisle, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, nil // fleet.NewRack's default
+func faults(fc experiments.FaultConfig) error {
+	res, err := experiments.Faults(fc)
+	if err != nil {
+		return err
 	}
-	var layout []fleet.Aisle
+	fmt.Printf("Faults — full stack through a %.0f s stuck sensor at t=%.0f s plus %.0f%% dropout (%.0f s horizon)\n\n",
+		float64(fc.StuckLen), float64(fc.StuckAt), fc.DropoutRate*100, float64(fc.Duration))
+	fmt.Printf("%-10s %12s %12s %12s %10s %14s\n",
+		"run", "violation(%)", "fanE(kJ)", "Tmax(°C)", "meanFan", "hwThrottle(%)")
+	for _, row := range []struct {
+		name string
+		m    sim.Metrics
+	}{{"clean", res.Clean}, {"faulted", res.Faulted}} {
+		fmt.Printf("%-10s %12.2f %12.2f %12.1f %10.0f %14.2f\n",
+			row.name, row.m.ViolationFrac*100, float64(row.m.FanEnergy)/1000,
+			float64(row.m.MaxJunction), float64(row.m.MeanFanSpeed), row.m.HWThrottleFrac*100)
+	}
+	fmt.Println()
+	return nil
+}
+
+// parseLayout maps a comma-separated aisle pattern ("cold,mid,hot") to
+// the scenario layout cycled over rack positions.
+func parseLayout(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var layout []string
 	for _, part := range strings.Split(s, ",") {
 		switch strings.ToLower(strings.TrimSpace(part)) {
 		case "cold", "c":
-			layout = append(layout, fleet.Cold)
+			layout = append(layout, "cold")
 		case "mid", "m":
-			layout = append(layout, fleet.Mid)
+			layout = append(layout, "mid")
 		case "hot", "h":
-			layout = append(layout, fleet.Hot)
+			layout = append(layout, "hot")
 		default:
 			return nil, fmt.Errorf("unknown aisle %q in layout (want cold|mid|hot)", part)
 		}
@@ -245,107 +425,196 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-// buildFleet assembles the rack from the fleet flags at the given size
-// and hot-aisle spread.
-func buildFleet(n int, spread float64) (fleet.Config, error) {
-	layout, err := parseLayout(*fleetLayout)
+// fleetSpec assembles the generated-rack scenario at the given size and
+// hot-aisle spread.
+func fleetSpec(n int, spread float64, layoutStr string, seed int64, recirc, duration float64, workers int) (scenario.Spec, error) {
+	layout, err := parseLayout(layoutStr)
 	if err != nil {
-		return fleet.Config{}, err
+		return scenario.Spec{}, err
 	}
-	cfg, err := fleet.NewRack(n, layout, *fleetSeed)
-	if err != nil {
-		return fleet.Config{}, err
-	}
-	cfg.AisleOffsets = [fleet.NumAisles]units.Celsius{
-		fleet.Cold: 0,
-		fleet.Mid:  units.Celsius(spread / 2),
-		fleet.Hot:  units.Celsius(spread),
-	}
-	cfg.Recirc = units.KPerW(*fleetRecirc)
-	cfg.Duration = units.Seconds(*fleetDuration)
-	cfg.Workers = *fleetWorkers
-	return cfg, nil
+	return scenario.Spec{
+		Kind:     scenario.KindFleet,
+		Name:     "fleet",
+		Duration: units.Seconds(duration),
+		Fleet: &scenario.FleetSpec{
+			Size:         n,
+			Layout:       layout,
+			Seed:         seed,
+			AisleOffsets: &[3]units.Celsius{0, units.Celsius(spread / 2), units.Celsius(spread)},
+			Recirc:       units.KPerW(recirc),
+		},
+		Workers: workers,
+	}, nil
 }
 
-func fleetRack(string) error {
-	cfg, err := buildFleet(*fleetNodes, *fleetSpread)
+func fleetRack(n int, spread float64, layoutStr string, seed int64, recirc, duration float64, workers int) error {
+	spec, err := fleetSpec(n, spread, layoutStr, seed, recirc, duration, workers)
 	if err != nil {
 		return err
 	}
-	res, err := fleet.Run(cfg)
+	out, err := scenario.Run(spec)
 	if err != nil {
 		return err
 	}
+	agg := out.Aggregate
 	fmt.Printf("Fleet — %d-node rack, %.0f s horizon, shared inlet field (spread %.1f °C, recirc %.3f K/W, %d pass(es))\n\n",
-		len(res.Nodes), float64(cfg.Duration), *fleetSpread, *fleetRecirc, res.Passes)
+		len(out.Units), duration, spread, recirc, int(agg[scenario.MetricPasses]))
 	fmt.Printf("%-10s %6s %4s %9s %12s %12s %10s %8s\n",
 		"node", "aisle", "slot", "inlet(°C)", "violation(%)", "fanE(kJ)", "meanFan", "Tmax")
-	for _, n := range res.Nodes {
-		m := n.Metrics
+	for i := range out.Units {
+		u := &out.Units[i]
 		fmt.Printf("%-10s %6s %4d %9.1f %12.2f %12.2f %10.0f %8.1f\n",
-			n.Name, n.Aisle, n.Slot, float64(n.Inlet), m.ViolationFrac*100,
-			float64(m.FanEnergy)/1000, float64(m.MeanFanSpeed), float64(m.MaxJunction))
+			u.Name, u.Labels["aisle"], int(u.Metric(scenario.MetricSlot, 0)),
+			u.Metric(scenario.MetricInletC, 0),
+			u.Metric(scenario.MetricViolationFrac, 0)*100,
+			u.Metric(scenario.MetricFanEnergyJ, 0)/1000,
+			u.Metric(scenario.MetricMeanFanRPM, 0),
+			u.Metric(scenario.MetricMaxJunctionC, 0))
 	}
 	fmt.Printf("\nper aisle:\n")
-	for a, am := range res.Aisles {
-		if am.Nodes == 0 {
+	for _, aisle := range []string{"cold", "mid", "hot"} {
+		prefix := "aisle_" + aisle + "_"
+		n, ok := agg[prefix+"nodes"]
+		if !ok || n == 0 {
 			continue
 		}
 		fmt.Printf("  %-5s %d node(s): mean inlet %.1f °C, %.2f%% violations, %.1f kJ fan, Tmax %.1f °C\n",
-			fleet.Aisle(a), am.Nodes, float64(am.MeanInlet), am.ViolationFrac*100,
-			float64(am.FanEnergy)/1000, float64(am.MaxJunction))
+			aisle, int(n), agg[prefix+"mean_inlet_c"], agg[prefix+scenario.MetricViolationFrac]*100,
+			agg[prefix+scenario.MetricFanEnergyJ]/1000, agg[prefix+scenario.MetricMaxJunctionC])
 	}
 	fmt.Printf("\nrack: %.2f%% violations, fan %.1f kJ (%.2f%% of %.1f kJ total), Tmax %.1f °C\n",
-		res.ViolationFrac*100, float64(res.FanEnergy)/1000, res.FanEnergyShare*100,
-		float64(res.TotalEnergy)/1000, float64(res.MaxJunction))
+		agg[scenario.MetricViolationFrac]*100, agg[scenario.MetricFanEnergyJ]/1000,
+		agg[scenario.MetricFanEnergyShare]*100, agg[scenario.MetricTotalEnergyJ]/1000,
+		agg[scenario.MetricMaxJunctionC])
 	fmt.Printf("rack power: peak %.0f W, mean %.0f W\n\n",
-		float64(res.PeakRackPower), float64(res.MeanRackPower))
+		agg[scenario.MetricPeakRackPowerW], agg[scenario.MetricMeanRackPowerW])
 	return nil
 }
 
-func fleetSweep(string) error {
+// openStore opens the optional result store.
+func openStore(dir string) (*scenario.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return scenario.OpenStore(dir)
+}
+
+func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, duration float64, workers int, storeDir string) error {
 	var sizes []int
-	for _, part := range strings.Split(*sweepSizes, ",") {
+	for _, part := range strings.Split(sizesStr, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return fmt.Errorf("bad -sizes: %w", err)
 		}
 		sizes = append(sizes, v)
 	}
-	spreadF, err := parseFloats(*sweepSpreads)
+	spreads, err := parseFloats(spreadsStr)
 	if err != nil {
 		return fmt.Errorf("bad -spreads: %w", err)
 	}
-	spreads := make([]units.Celsius, len(spreadF))
-	for i, v := range spreadF {
-		spreads[i] = units.Celsius(v)
-	}
-	layout, err := parseLayout(*fleetLayout)
+	store, err := openStore(storeDir)
 	if err != nil {
 		return err
 	}
-	points, err := fleet.Sweep(fleet.SweepConfig{
-		RackSizes: sizes,
-		Spreads:   spreads,
-		Layout:    layout,
-		Seed:      *fleetSeed,
-		Recirc:    units.KPerW(*fleetRecirc),
-		Duration:  units.Seconds(*fleetDuration),
-		Workers:   *fleetWorkers,
-	})
+
+	// One scenario per grid point, row-major (sizes outer, spreads
+	// inner), mirroring fleet.Sweep: the sub-seed is keyed on the rack
+	// size itself so a size reruns the same workloads at every spread.
+	var specs []scenario.Spec
+	for _, size := range sizes {
+		for _, spread := range spreads {
+			spec, err := fleetSpec(size, spread, layoutStr, stats.SubSeed(seed, int64(size)), recirc, duration, workers)
+			if err != nil {
+				return err
+			}
+			spec.Name = fmt.Sprintf("fleetsweep/size=%d/spread=%g", size, spread)
+			specs = append(specs, spec)
+		}
+	}
+	res, err := scenario.Sweep(specs, store)
 	if err != nil {
 		return err
 	}
+
 	fmt.Printf("Fleet sweep — rack size × hot-aisle inlet spread (%.0f s horizon, recirc %.3f K/W)\n\n",
-		*fleetDuration, *fleetRecirc)
-	fmt.Printf("%6s %10s %12s %12s %12s %10s %8s\n",
-		"nodes", "spread(°C)", "violation(%)", "fanE(kJ)", "fanShare(%)", "peakP(W)", "Tmax")
-	for _, p := range points {
-		r := p.Result
-		fmt.Printf("%6d %10.1f %12.2f %12.2f %12.2f %10.0f %8.1f\n",
-			p.RackSize, float64(p.Spread), r.ViolationFrac*100,
-			float64(r.FanEnergy)/1000, r.FanEnergyShare*100,
-			float64(r.PeakRackPower), float64(r.MaxJunction))
+		duration, recirc)
+	fmt.Printf("%6s %10s %12s %12s %12s %10s %8s %6s\n",
+		"nodes", "spread(°C)", "violation(%)", "fanE(kJ)", "fanShare(%)", "peakP(W)", "Tmax", "cache")
+	i := 0
+	for _, size := range sizes {
+		for _, spread := range spreads {
+			cell := res.Cells[i]
+			agg := cell.Outcome.Aggregate
+			cached := "miss"
+			if cell.Cached {
+				cached = "hit"
+			}
+			fmt.Printf("%6d %10.1f %12.2f %12.2f %12.2f %10.0f %8.1f %6s\n",
+				size, spread,
+				agg[scenario.MetricViolationFrac]*100,
+				agg[scenario.MetricFanEnergyJ]/1000,
+				agg[scenario.MetricFanEnergyShare]*100,
+				agg[scenario.MetricPeakRackPowerW],
+				agg[scenario.MetricMaxJunctionC],
+				cached)
+			i++
+		}
+	}
+	if store != nil {
+		fmt.Printf("\nstore %s: %d hits, %d misses\n", store.Dir(), res.Hits, res.Misses)
+	}
+	fmt.Println()
+	return nil
+}
+
+// scenarioSweep runs the Table III comparison over an ambient × seed
+// grid through the scenario sweep, demonstrating store-backed resume on
+// the sim engines.
+func scenarioSweep(ambientsStr string, nSeeds int, seed0 int64, duration float64, storeDir string) error {
+	ambients, err := parseFloats(ambientsStr)
+	if err != nil {
+		return fmt.Errorf("bad -ambients: %w", err)
+	}
+	if nSeeds < 1 {
+		return fmt.Errorf("need at least one seed")
+	}
+	store, err := openStore(storeDir)
+	if err != nil {
+		return err
+	}
+	var specs []scenario.Spec
+	var labels []string
+	for _, ambient := range ambients {
+		for s := 0; s < nSeeds; s++ {
+			tc := experiments.DefaultTable3()
+			tc.Ambient = units.Celsius(ambient)
+			tc.Seed = seed0 + int64(s)
+			tc.Duration = units.Seconds(duration)
+			spec := experiments.Table3Spec(tc)
+			spec.Name = fmt.Sprintf("table3/ambient=%g/seed=%d", ambient, tc.Seed)
+			specs = append(specs, spec)
+			labels = append(labels, fmt.Sprintf("%6.1f %6d", ambient, tc.Seed))
+		}
+	}
+	res, err := scenario.Sweep(specs, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Scenario sweep — Table III (%.0f s horizon) over ambient × seed\n\n", duration)
+	fmt.Printf("%6s %6s %16s %16s %12s %6s\n",
+		"amb", "seed", "baselineViol(%)", "fullViol(%)", "fullEnergy", "cache")
+	for i, cell := range res.Cells {
+		table := experiments.Table3FromOutcome(cell.Outcome)
+		base, full := table.Rows[0], table.Rows[len(table.Rows)-1]
+		cached := "miss"
+		if cell.Cached {
+			cached = "hit"
+		}
+		fmt.Printf("%s %16.2f %16.2f %12.3f %6s\n",
+			labels[i], base.ViolationPct, full.ViolationPct, full.NormFanEnergy, cached)
+	}
+	if store != nil {
+		fmt.Printf("\nstore %s: %d hits, %d misses\n", store.Dir(), res.Hits, res.Misses)
 	}
 	fmt.Println()
 	return nil

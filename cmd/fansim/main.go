@@ -1,6 +1,8 @@
 // Command fansim runs one simulation scenario from the command line:
 // pick a policy, a workload and a horizon, get the paper's metrics and
-// optionally the full traces as CSV.
+// optionally the full traces as CSV. The -policy and -workload names are
+// the scenario registry keys (see internal/scenario): fansim builds a
+// declarative single-run spec and hands it to scenario.Run.
 //
 // Usage:
 //
@@ -14,10 +16,9 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -42,32 +43,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	gen, err := buildWorkload(*wl, cfg, *period, *noise, *util, *seed, *duration)
+	wref, err := workloadRef(*wl, *period, *noise, *util, *seed, *duration)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pol, err := buildPolicy(*policy, cfg, units.RPM(*holdFan))
-	if err != nil {
-		log.Fatal(err)
+	spec := scenario.Spec{
+		Kind:     scenario.KindSingle,
+		Name:     "fansim",
+		Base:     &cfg,
+		Duration: units.Seconds(*duration),
+		Jobs: []scenario.JobSpec{{
+			Workload:  wref,
+			Policy:    policyRef(*policy, *holdFan),
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		}},
+		Record: *csvPath != "",
 	}
-	server, err := sim.NewPhysicalServer(cfg)
+	out, err := scenario.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := sim.Run(server, sim.RunConfig{
-		Duration:  units.Seconds(*duration),
-		Workload:  gen,
-		Policy:    pol,
-		Record:    *csvPath != "",
-		WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	m := res.Metrics
-	fmt.Printf("policy:            %s\n", pol.Name())
+	u := &out.Units[0]
+	m := scenario.SimMetrics(u)
+	fmt.Printf("policy:            %s\n", u.Labels["policy"])
 	fmt.Printf("simulated:         %d s\n", m.Ticks)
 	fmt.Printf("deadline violations: %.2f%%\n", m.ViolationFrac*100)
 	fmt.Printf("fan energy:        %.1f J (mean fan %.0f rpm)\n", float64(m.FanEnergy), float64(m.MeanFanSpeed))
@@ -77,56 +76,55 @@ func main() {
 	fmt.Printf("delivered/demand:  %.3f / %.3f\n", float64(m.MeanDelivered), float64(m.MeanDemand))
 
 	if *csvPath != "" {
+		ts, err := scenario.ToTraceSet(u.Series)
+		if err != nil {
+			log.Fatal(err)
+		}
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := res.Traces.WriteCSV(f); err != nil {
+		if err := ts.WriteCSV(f); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("traces:            %s\n", *csvPath)
 	}
 }
 
-func buildWorkload(kind string, cfg sim.Config, period, noise, util float64, seed int64, duration float64) (workload.Generator, error) {
+// workloadRef maps the CLI workload name to a registry reference.
+func workloadRef(kind string, period, noise, util float64, seed int64, duration float64) (scenario.FactoryRef, error) {
 	switch kind {
 	case "square":
-		return workload.NewNoisy(workload.PaperSquare(units.Seconds(period)), noise, cfg.Tick, seed)
+		return scenario.FactoryRef{Name: "noisy-square", Seed: seed,
+			Params: scenario.Params{"period": period, "sigma": noise}}, nil
 	case "constant":
-		return workload.Constant{U: units.Utilization(util)}, nil
+		return scenario.FactoryRef{Name: "constant",
+			Params: scenario.Params{"u": util}}, nil
 	case "prbs":
-		return workload.PRBS{Low: 0.1, High: 0.7, Dwell: 60, Seed: seed}, nil
+		return scenario.FactoryRef{Name: "prbs", Seed: seed,
+			Params: scenario.Params{"low": 0.1, "high": 0.7, "dwell": 60}}, nil
 	case "markov":
-		return workload.Markov{IdleU: 0.1, BusyU: 0.8, Dwell: 30, PIdleToBusy: 0.2, PBusyToIdle: 0.3, Seed: seed}, nil
+		return scenario.FactoryRef{Name: "markov", Seed: seed,
+			Params: scenario.Params{"idle_u": 0.1, "busy_u": 0.8, "dwell": 30, "p_idle_busy": 0.2, "p_busy_idle": 0.3}}, nil
 	case "spiky":
-		noisy, err := workload.NewNoisy(workload.PaperSquare(units.Seconds(period)), noise, cfg.Tick, seed)
-		if err != nil {
-			return nil, err
-		}
-		n := int(duration/period) + 1
-		spikes := workload.PeriodicSpikes(units.Seconds(period/4), units.Seconds(period/2), 25, 1.0, 2*n)
-		return workload.NewSpiky(noisy, spikes)
+		return scenario.FactoryRef{Name: "spiky-square", Seed: seed,
+			Params: scenario.Params{"period": period, "sigma": noise, "duration": duration}}, nil
 	default:
-		return nil, fmt.Errorf("unknown workload %q", kind)
+		return scenario.FactoryRef{}, fmt.Errorf("unknown workload %q", kind)
 	}
 }
 
-func buildPolicy(kind string, cfg sim.Config, holdFan units.RPM) (sim.Policy, error) {
+// policyRef maps the CLI policy name to a registry reference; unknown
+// names fall through to scenario.Run's validation, which lists what is
+// registered.
+func policyRef(kind string, holdFan float64) scenario.FactoryRef {
 	switch kind {
-	case "none":
-		return core.NewUncoordinated(cfg)
-	case "ecoord":
-		return core.NewECoordPolicy(cfg)
 	case "rcoord":
-		return core.NewRuleCoord(cfg, 75)
-	case "atref":
-		return core.NewRuleCoordAdaptiveRef(cfg)
-	case "full":
-		return core.NewFullStack(cfg)
+		return scenario.FactoryRef{Name: "rcoord", Params: scenario.Params{"ref_temp": 75}}
 	case "hold":
-		return sim.HoldPolicy{Fan: holdFan}, nil
+		return scenario.FactoryRef{Name: "hold", Params: scenario.Params{"fan": holdFan}}
 	default:
-		return nil, fmt.Errorf("unknown policy %q", kind)
+		return scenario.FactoryRef{Name: kind}
 	}
 }

@@ -1,20 +1,21 @@
 // Datacenter: manage a small rack of heterogeneous servers through the
-// fleet layer — cold/hot-aisle positions map to inlet temperatures, the
-// hot aisle recirculates upstream exhaust into downstream intakes, and
-// every node runs its own workload mix under its own DTM instance. The
-// example is a thin consumer of internal/fleet: it declares the topology
-// and prints the aggregated rack view; simulation, the shared inlet
-// field, and the parallel batch execution live in the library.
+// scenario layer — cold/hot-aisle positions map to inlet temperatures,
+// the hot aisle recirculates upstream exhaust into downstream intakes,
+// and every node runs its own workload mix under its own DTM instance.
+// The whole rack is one declarative fleet spec: nodes name their
+// workloads and policies in the scenario registry, scenario.Run resolves
+// the shared inlet field through the fleet engine, and the printed view
+// reads straight off the normalized outcome.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/fleet"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/internal/units"
 )
 
 // rackSeed roots all workload randomness; per-node streams derive from it
@@ -25,83 +26,79 @@ const rackSeed = 11
 func main() {
 	log.SetFlags(0)
 
-	fullStack := fleet.FullStack
+	full := scenario.FactoryRef{Name: "full"}
 	warm := &sim.WarmPoint{Util: 0.2, Fan: 1500}
 	seed := func(i int) int64 { return stats.SubSeed(rackSeed, int64(i)) }
 
-	cfg := fleet.Config{
-		Nodes: []fleet.NodeSpec{
-			{
-				Name: "web-01", Aisle: fleet.Cold, Slot: 0,
-				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
-				Workload: func(cfg sim.Config) (workload.Generator, error) {
-					return workload.NewNoisy(workload.PaperSquare(400), 0.04, cfg.Tick, seed(0))
+	spec := scenario.Spec{
+		Kind:     scenario.KindFleet,
+		Name:     "datacenter",
+		Duration: 3600,
+		Fleet: &scenario.FleetSpec{
+			Nodes: []scenario.FleetNode{
+				{
+					Name: "web-01", Aisle: "cold", Slot: 0, Policy: full, WarmStart: warm,
+					Workload: scenario.FactoryRef{Name: "noisy-square", Seed: seed(0),
+						Params: scenario.Params{"period": 400, "sigma": 0.04}},
+				},
+				{
+					Name: "web-02", Aisle: "mid", Slot: 0, Policy: full, WarmStart: warm,
+					Workload: scenario.FactoryRef{Name: "markov", Seed: seed(1),
+						Params: scenario.Params{"idle_u": 0.15, "busy_u": 0.85, "dwell": 45, "p_idle_busy": 0.25, "p_busy_idle": 0.2}},
+				},
+				{
+					Name: "batch-01", Aisle: "hot", Slot: 0, Policy: full, WarmStart: warm,
+					Workload: scenario.FactoryRef{Name: "spiky-batch", Seed: seed(2),
+						Params: scenario.Params{"u": 0.65, "sigma": 0.05, "first": 200, "every": 500, "len": 30, "level": 1.0, "count": 6}},
+				},
+				{
+					Name: "batch-02", Aisle: "hot", Slot: 1, Policy: full, WarmStart: warm,
+					Workload: scenario.FactoryRef{Name: "prbs", Seed: seed(3),
+						Params: scenario.Params{"low": 0.2, "high": 0.8, "dwell": 90}},
 				},
 			},
-			{
-				Name: "web-02", Aisle: fleet.Mid, Slot: 0,
-				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
-				Workload: func(cfg sim.Config) (workload.Generator, error) {
-					return workload.Markov{
-						IdleU: 0.15, BusyU: 0.85, Dwell: 45,
-						PIdleToBusy: 0.25, PBusyToIdle: 0.2, Seed: seed(1),
-					}, nil
-				},
-			},
-			{
-				Name: "batch-01", Aisle: fleet.Hot, Slot: 0,
-				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
-				Workload: func(cfg sim.Config) (workload.Generator, error) {
-					noisy, err := workload.NewNoisy(workload.Constant{U: 0.65}, 0.05, cfg.Tick, seed(2))
-					if err != nil {
-						return nil, err
-					}
-					return workload.NewSpiky(noisy, workload.PeriodicSpikes(200, 500, 30, 1.0, 6))
-				},
-			},
-			{
-				Name: "batch-02", Aisle: fleet.Hot, Slot: 1,
-				Config: sim.Default(), Policy: fullStack, WarmStart: warm,
-				Workload: func(cfg sim.Config) (workload.Generator, error) {
-					return workload.PRBS{Low: 0.2, High: 0.8, Dwell: 90, Seed: seed(3)}, nil
-				},
-			},
+			Supply:       24,
+			AisleOffsets: &[3]units.Celsius{0, 4, 8},
+			Recirc:       0.01, // batch-02 breathes batch-01's exhaust
 		},
-		Supply:       24,
-		AisleOffsets: fleet.DefaultOffsets(),
-		Recirc:       0.01, // batch-02 breathes batch-01's exhaust
-		Duration:     3600,
 	}
 
-	res, err := fleet.Run(cfg)
+	out, err := scenario.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	agg := out.Aggregate
 
 	fmt.Printf("rack simulation: %d nodes, %.0f s horizon, per-node DTM (%s), %d recirculation pass(es)\n\n",
-		len(res.Nodes), float64(cfg.Duration), "R-coord+A-Tref+SSfan", res.Passes)
+		len(out.Units), float64(spec.Duration), "R-coord+A-Tref+SSfan", int(agg[scenario.MetricPasses]))
 	fmt.Printf("%-10s %6s %9s %12s %12s %10s %8s\n",
 		"node", "aisle", "inlet(°C)", "violations", "fanE(kJ)", "meanFan", "Tmax")
-	for _, n := range res.Nodes {
-		m := n.Metrics
+	for i := range out.Units {
+		u := &out.Units[i]
 		fmt.Printf("%-10s %6s %9.1f %11.2f%% %12.2f %10.0f %8.1f\n",
-			n.Name, n.Aisle, float64(n.Inlet), m.ViolationFrac*100,
-			float64(m.FanEnergy)/1000, float64(m.MeanFanSpeed), float64(m.MaxJunction))
+			u.Name, u.Labels["aisle"], u.Metric(scenario.MetricInletC, 0),
+			u.Metric(scenario.MetricViolationFrac, 0)*100,
+			u.Metric(scenario.MetricFanEnergyJ, 0)/1000,
+			u.Metric(scenario.MetricMeanFanRPM, 0),
+			u.Metric(scenario.MetricMaxJunctionC, 0))
 	}
 
 	fmt.Printf("\nper aisle:\n")
-	for a, am := range res.Aisles {
-		if am.Nodes == 0 {
+	for _, aisle := range []string{"cold", "mid", "hot"} {
+		prefix := "aisle_" + aisle + "_"
+		n, ok := agg[prefix+"nodes"]
+		if !ok || n == 0 {
 			continue
 		}
 		fmt.Printf("  %-5s %d node(s): inlet %.1f°C, %.2f%% violations, %.1f kJ fan\n",
-			fleet.Aisle(a), am.Nodes, float64(am.MeanInlet), am.ViolationFrac*100,
-			float64(am.FanEnergy)/1000)
+			aisle, int(n), agg[prefix+"mean_inlet_c"], agg[prefix+scenario.MetricViolationFrac]*100,
+			agg[prefix+scenario.MetricFanEnergyJ]/1000)
 	}
 
 	fmt.Printf("\nfleet: %.2f%% violations, %.1f kJ fan energy, %.1f kJ CPU energy\n",
-		res.ViolationFrac*100, float64(res.FanEnergy)/1000, float64(res.CPUEnergy)/1000)
-	fmt.Printf("fan share of total energy: %.2f%%\n", res.FanEnergyShare*100)
+		agg[scenario.MetricViolationFrac]*100, agg[scenario.MetricFanEnergyJ]/1000,
+		agg[scenario.MetricCPUEnergyJ]/1000)
+	fmt.Printf("fan share of total energy: %.2f%%\n", agg[scenario.MetricFanEnergyShare]*100)
 	fmt.Printf("rack power: peak %.0f W, mean %.0f W\n",
-		float64(res.PeakRackPower), float64(res.MeanRackPower))
+		agg[scenario.MetricPeakRackPowerW], agg[scenario.MetricMeanRackPowerW])
 }

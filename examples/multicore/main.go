@@ -3,48 +3,55 @@
 // OS's temperature-aware workload scheduler) active on the same N-core
 // server at once. Free-running, their interactions throttle the machine;
 // serialized through performance-biased coordination, the fan and the
-// scheduler absorb the thermal work and the cap almost never bites.
+// scheduler absorb the thermal work and the cap almost never bites. Both
+// modes are one declarative multicore scenario each, differing in a
+// single boolean.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/multicore"
-	"repro/internal/workload"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	cfg := multicore.DefaultConfig()
-	cfg.Base.Ambient = 30
-	noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Base.Tick, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
+	base := sim.Default()
+	base.Ambient = 30
 
 	fmt.Printf("four-core server, consolidated initial placement, 1 h horizon\n\n")
 	fmt.Printf("%-14s %12s %12s %10s %10s %10s\n",
 		"mode", "violations", "migrations", "fanE(kJ)", "Tmax(°C)", "spread(°C)")
 	for _, coordinate := range []bool{false, true} {
-		res, err := multicore.Run(multicore.RunConfig{
-			Config:     cfg,
-			Duration:   3600,
-			Workload:   noisy,
-			Skewed:     true,
-			Coordinate: coordinate,
+		out, err := scenario.Run(scenario.Spec{
+			Kind:     scenario.KindMulticore,
+			Name:     "multicore",
+			Base:     &base,
+			Duration: 3600,
+			Multicore: &scenario.MulticoreSpec{
+				Workload: scenario.FactoryRef{Name: "noisy-square", Seed: 7,
+					Params: scenario.Params{"period": 600, "sigma": 0.04}},
+				Skewed:     true,
+				Coordinate: coordinate,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		u := &out.Units[0]
 		mode := "free-running"
 		if coordinate {
 			mode = "coordinated"
 		}
 		fmt.Printf("%-14s %11.2f%% %12d %10.2f %10.1f %10.2f\n",
-			mode, res.ViolationFrac*100, res.Migrations,
-			float64(res.FanEnergy)/1000, float64(res.MaxJunction), res.CoreSpread)
+			mode, u.Metric(scenario.MetricViolationFrac, 0)*100,
+			int(u.Metric(scenario.MetricMigrations, 0)),
+			u.Metric(scenario.MetricFanEnergyJ, 0)/1000,
+			u.Metric(scenario.MetricMaxJunctionC, 0),
+			u.Metric(scenario.MetricCoreSpreadC, 0))
 	}
 	fmt.Println("\nfree-running: the capper reacts to every hotspot the scheduler is")
 	fmt.Println("still moving, throttling the socket; coordination lets the fan and")

@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/sensor"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // FaultResult reports the robustness experiment: the full DTM stack
@@ -37,75 +35,59 @@ func DefaultFaults() FaultConfig {
 	return FaultConfig{Duration: 3600, StuckAt: 1800, StuckLen: 120, DropoutRate: 0.1, Seed: 5}
 }
 
-// Faults runs the robustness experiment: the clean and fault-injected
-// scenarios are independent runs, executed as one parallel batch. The
-// fault pipeline is assembled inside the job's ServerFactory so each run
-// owns its sensor chain.
+// FaultsSpec builds the declarative robustness scenario: the clean and
+// fault-injected runs are independent jobs of one batch; the fault chain
+// (clean physical path feeding a wedged/congested transport) is declared
+// on the faulted job and assembled by the scenario runner.
+func FaultsSpec(fc FaultConfig) scenario.Spec {
+	base := DefaultConfig()
+	base.Ambient = 30
+	wref := scenario.FactoryRef{
+		Name:   "noisy-square",
+		Seed:   fc.Seed,
+		Params: scenario.Params{"period": 600, "sigma": 0.04},
+	}
+	pref := scenario.FactoryRef{Name: "full"}
+	warm := &sim.WarmPoint{Util: 0.1, Fan: 1500}
+	return scenario.Spec{
+		Kind:     scenario.KindBatch,
+		Name:     "faults",
+		Base:     &base,
+		Duration: fc.Duration,
+		Jobs: []scenario.JobSpec{
+			{Name: "clean", Workload: wref, Policy: pref, WarmStart: warm},
+			{Name: "faulted", Workload: wref, Policy: pref, WarmStart: warm,
+				Faults: &scenario.FaultSpec{
+					StuckAt:     fc.StuckAt,
+					StuckLen:    fc.StuckLen,
+					DropoutRate: fc.DropoutRate,
+					DropoutSeed: fc.Seed,
+				}},
+		},
+		Workers: fc.Workers,
+	}
+}
+
+// Faults runs the robustness experiment through the scenario runner.
 func Faults(fc FaultConfig) (*FaultResult, error) {
 	if fc.Duration <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration %v", fc.Duration)
 	}
-	cfg := DefaultConfig()
-	cfg.Ambient = 30
-
-	factory := func(inject bool) sim.ServerFactory {
-		return func() (*sim.PhysicalServer, error) {
-			server, err := sim.NewPhysicalServer(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if !inject {
-				return server, nil
-			}
-			stuck, err := sensor.NewStuckAt(fc.StuckAt, fc.StuckAt+fc.StuckLen)
-			if err != nil {
-				return nil, err
-			}
-			drop, err := sensor.NewDropout(fc.DropoutRate, fc.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := sensor.New(cfg.Sensor)
-			if err != nil {
-				return nil, err
-			}
-			// Faults sit on the firmware side of the chain: the clean
-			// physical chain feeds a wedged/congested transport.
-			if err := server.ReplaceSensor(sensor.NewPipeline(base, drop, stuck)); err != nil {
-				return nil, err
-			}
-			return server, nil
-		}
-	}
-
-	noisy, err := workload.NewNoisy(workload.PaperSquare(600), 0.04, cfg.Tick, fc.Seed)
+	out, err := scenario.Run(FaultsSpec(fc))
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]sim.Job, 2)
-	for i, inject := range []bool{false, true} {
-		pol, err := core.NewFullStack(cfg)
-		if err != nil {
-			return nil, err
-		}
-		name := "clean"
-		if inject {
-			name = "faulted"
-		}
-		jobs[i] = sim.Job{
-			Name:   name,
-			Server: factory(inject),
-			Config: sim.RunConfig{
-				Duration:  fc.Duration,
-				Workload:  noisy,
-				Policy:    pol,
-				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1500},
-			},
-		}
+	return FaultsFromOutcome(out)
+}
+
+// FaultsFromOutcome unpacks a (possibly store-cached) outcome.
+func FaultsFromOutcome(out *scenario.Outcome) (*FaultResult, error) {
+	clean, faulted := out.Unit("clean"), out.Unit("faulted")
+	if clean == nil || faulted == nil {
+		return nil, fmt.Errorf("experiments: faults outcome missing clean/faulted units")
 	}
-	results, err := sim.RunBatch(jobs, sim.BatchOptions{Workers: fc.Workers})
-	if err != nil {
-		return nil, err
-	}
-	return &FaultResult{Clean: results[0].Metrics, Faulted: results[1].Metrics}, nil
+	return &FaultResult{
+		Clean:   scenario.SimMetrics(clean),
+		Faulted: scenario.SimMetrics(faulted),
+	}, nil
 }

@@ -3,13 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/control"
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // Fig3Variant identifies one of the three compared fan controllers.
@@ -61,86 +59,74 @@ func DefaultFig3() Fig3Config {
 	return Fig3Config{RefTemp: 68, Period: 1200, Cycles: 2}
 }
 
-// Fig3 runs the three-controller comparison.
+// fig3Variants lists the compared controllers with their policy refs.
+func fig3Variants(fc Fig3Config) []struct {
+	Variant Fig3Variant
+	Policy  scenario.FactoryRef
+} {
+	ref := float64(fc.RefTemp)
+	return []struct {
+		Variant Fig3Variant
+		Policy  scenario.FactoryRef
+	}{
+		{Fixed2000, scenario.FactoryRef{Name: "pid-fixed", Params: scenario.Params{"region": 0, "ref_temp": ref}}},
+		{Fixed6000, scenario.FactoryRef{Name: "pid-fixed", Params: scenario.Params{"region": 1, "ref_temp": ref}}},
+		{Adaptive, scenario.FactoryRef{Name: "adaptive-pid", Params: scenario.Params{"ref_temp": ref}}},
+	}
+}
+
+// Fig3Spec builds the declarative three-controller comparison: the
+// variants are independent recorded closed-loop runs sharing one clock,
+// so the runner advances them as one warm lockstep batch.
+func Fig3Spec(fc Fig3Config) scenario.Spec {
+	variants := fig3Variants(fc)
+	jobs := make([]scenario.JobSpec, len(variants))
+	for i, v := range variants {
+		jobs[i] = scenario.JobSpec{
+			Name:      string(v.Variant),
+			Workload:  scenario.FactoryRef{Name: "square", Params: scenario.Params{"period": float64(fc.Period)}},
+			Policy:    v.Policy,
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		}
+	}
+	return scenario.Spec{
+		Kind:     scenario.KindBatch,
+		Name:     "fig3",
+		Duration: units.Seconds(float64(fc.Period) * float64(fc.Cycles)),
+		Jobs:     jobs,
+		Record:   true,
+	}
+}
+
+// Fig3 runs the three-controller comparison through the scenario runner.
 func Fig3(fc Fig3Config) (*Fig3Result, error) {
 	if fc.Cycles < 1 {
 		return nil, fmt.Errorf("experiments: fig3 needs at least one cycle")
 	}
-	cfg := DefaultConfig()
-	regions := core.DefaultRegions()
-	lim := control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed}
-
-	build := func(v Fig3Variant) (control.FanController, error) {
-		var inner control.FanController
-		switch v {
-		case Fixed2000:
-			p, err := control.NewPID(control.PIDConfig{
-				Gains: regions[0].Gains, RefSpeed: regions[0].RefSpeed,
-				RefTemp: fc.RefTemp, Limits: lim, SlewFrac: 0.6, SlewFloor: 400,
-			})
-			if err != nil {
-				return nil, err
-			}
-			inner = p
-		case Fixed6000:
-			p, err := control.NewPID(control.PIDConfig{
-				Gains: regions[1].Gains, RefSpeed: regions[1].RefSpeed,
-				RefTemp: fc.RefTemp, Limits: lim, SlewFrac: 0.6, SlewFloor: 400,
-			})
-			if err != nil {
-				return nil, err
-			}
-			inner = p
-		case Adaptive:
-			a, err := control.NewAdaptivePID(regions, fc.RefTemp, lim)
-			if err != nil {
-				return nil, err
-			}
-			a.SetSlewFrac(0.6, 400)
-			inner = a
-		default:
-			return nil, fmt.Errorf("experiments: unknown variant %q", v)
-		}
-		return control.NewQuantGuard(inner, 1)
-	}
-
-	// The three controller variants are independent closed-loop runs:
-	// fan them out through the batch engine, then post-process in order.
-	variants := []Fig3Variant{Fixed2000, Fixed6000, Adaptive}
-	jobs := make([]sim.Job, len(variants))
-	for i, v := range variants {
-		fan, err := build(v)
-		if err != nil {
-			return nil, err
-		}
-		pol, err := core.NewFanOnlyPolicy(string(v), fan, core.DefaultFanInterval, cfg)
-		if err != nil {
-			return nil, err
-		}
-		jobs[i] = sim.Job{
-			Name:   string(v),
-			Server: sim.Factory(cfg),
-			Config: sim.RunConfig{
-				Duration:  units.Seconds(float64(fc.Period) * float64(fc.Cycles)),
-				Workload:  workload.PaperSquare(fc.Period),
-				Policy:    pol,
-				Record:    true,
-				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
-			},
-		}
-	}
-	results, err := sim.RunBatch(jobs, sim.BatchOptions{})
+	out, err := scenario.Run(Fig3Spec(fc))
 	if err != nil {
 		return nil, err
 	}
+	return Fig3FromOutcome(fc, out)
+}
 
+// Fig3FromOutcome post-processes a (possibly store-cached) outcome into
+// the paper's stability summaries.
+func Fig3FromOutcome(fc Fig3Config, out *scenario.Outcome) (*Fig3Result, error) {
+	variants := fig3Variants(fc)
+	if len(out.Units) != len(variants) {
+		return nil, fmt.Errorf("experiments: fig3 outcome has %d units, want %d", len(out.Units), len(variants))
+	}
 	result := &Fig3Result{RefTemp: fc.RefTemp}
 	for i, v := range variants {
-		res := results[i]
-		run := Fig3Run{Variant: v, Traces: res.Traces}
+		ts, err := scenario.ToTraceSet(out.Units[i].Series)
+		if err != nil {
+			return nil, err
+		}
+		run := Fig3Run{Variant: v.Variant, Traces: ts}
 
 		half := float64(fc.Period) / 2
-		junc := res.Traces.Get("junction")
+		junc := ts.Get("junction")
 		stepAt := half // low-to-high transition of the first period
 		window := junc.Window(stepAt+5, float64(fc.Period)-10)
 		if st, ok := window.SettlingTime(float64(fc.RefTemp), 1.5); ok {
@@ -148,10 +134,10 @@ func Fig3(fc Fig3Config) (*Fig3Result, error) {
 			run.Settled = true
 		}
 
-		fan2 := res.Traces.Get("fan_cmd")
-		lowWin := fan2.Window(float64(fc.Period)+half/2, float64(fc.Period)+half-10)
+		fan := ts.Get("fan_cmd")
+		lowWin := fan.Window(float64(fc.Period)+half/2, float64(fc.Period)+half-10)
 		run.LowPhaseAmp = stats.PeakAmplitude(stats.FindPeaks(lowWin.Values(), 200))
-		hiWin := fan2.Window(float64(fc.Period)+half+half/2, 2*float64(fc.Period)-10)
+		hiWin := fan.Window(float64(fc.Period)+half+half/2, 2*float64(fc.Period)-10)
 		run.HighPhaseAmp = stats.PeakAmplitude(stats.FindPeaks(hiWin.Values(), 200))
 
 		result.Runs = append(result.Runs, run)

@@ -1,13 +1,13 @@
 package experiments
 
 import (
-	"repro/internal/control"
-	"repro/internal/core"
+	"fmt"
+
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tuning"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // Fig4Result reproduces Fig. 4: a deadzone fan controller under a fixed
@@ -40,39 +40,52 @@ func DefaultFig4() Fig4Config {
 	return Fig4Config{Util: 0.6, BandLow: 74.4, BandHigh: 74.6, Step: 500, Duration: 1800}
 }
 
-// Fig4 runs the deadzone-oscillation experiment.
-func Fig4(fc Fig4Config) (*Fig4Result, error) {
-	cfg := DefaultConfig()
-	lim := control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed}
-	dz, err := control.NewDeadzone(fc.BandLow, fc.BandHigh, fc.Step, lim)
-	if err != nil {
-		return nil, err
+// Fig4Spec builds the declarative deadzone-oscillation scenario.
+func Fig4Spec(fc Fig4Config) scenario.Spec {
+	return scenario.Spec{
+		Kind:     scenario.KindSingle,
+		Name:     "fig4",
+		Duration: fc.Duration,
+		Jobs: []scenario.JobSpec{{
+			Name:     "deadzone",
+			Workload: scenario.FactoryRef{Name: "constant", Params: scenario.Params{"u": float64(fc.Util)}},
+			Policy: scenario.FactoryRef{Name: "deadzone", Params: scenario.Params{
+				"band_lo": float64(fc.BandLow),
+				"band_hi": float64(fc.BandHigh),
+				"step":    float64(fc.Step),
+			}},
+			WarmStart: &sim.WarmPoint{Util: fc.Util, Fan: 2500},
+		}},
+		Record: true,
 	}
-	server, err := newServer(cfg)
-	if err != nil {
-		return nil, err
-	}
-	pol, err := core.NewFanOnlyPolicy("deadzone", dz, core.DefaultFanInterval, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(server, sim.RunConfig{
-		Duration:  fc.Duration,
-		Workload:  workload.Constant{U: fc.Util},
-		Policy:    pol,
-		Record:    true,
-		WarmStart: &sim.WarmPoint{Util: fc.Util, Fan: 2500},
-	})
-	if err != nil {
-		return nil, err
-	}
+}
 
-	fan := res.Traces.Get("fan_cmd")
+// Fig4 runs the deadzone-oscillation experiment through the scenario
+// runner.
+func Fig4(fc Fig4Config) (*Fig4Result, error) {
+	out, err := scenario.Run(Fig4Spec(fc))
+	if err != nil {
+		return nil, err
+	}
+	return Fig4FromOutcome(fc, out)
+}
+
+// Fig4FromOutcome classifies the limit cycle from a (possibly cached)
+// outcome.
+func Fig4FromOutcome(fc Fig4Config, out *scenario.Outcome) (*Fig4Result, error) {
+	if len(out.Units) != 1 {
+		return nil, fmt.Errorf("experiments: fig4 outcome has %d units", len(out.Units))
+	}
+	ts, err := scenario.ToTraceSet(out.Units[0].Series)
+	if err != nil {
+		return nil, err
+	}
+	fan := ts.Get("fan_cmd")
 	// Skip the first fan period of transient before classifying.
 	vals := fan.Window(60, float64(fc.Duration)).Values()
 	osc := tuning.Classify(vals, 250, 0.5)
 	return &Fig4Result{
-		Traces:        res.Traces,
+		Traces:        ts,
 		Oscillation:   osc,
 		AmplitudeRPM:  osc.Amplitude,
 		PeriodSeconds: osc.Period, // fan trace sampled at 1 s per tick

@@ -1,12 +1,13 @@
 package experiments
 
 import (
-	"repro/internal/core"
+	"fmt"
+
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tuning"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // Fig5Result reproduces Fig. 5: the proposed stack (stable fan controller
@@ -32,40 +33,58 @@ func DefaultFig5() Fig5Config {
 	return Fig5Config{Period: 600, NoiseSigma: 0.04, Duration: 3000, Seed: 1}
 }
 
-// Fig5 runs the dynamic-stability experiment with the rule-coordinated
-// DTM (the proposed fan controller plus the CPU load controller).
+// Fig5Spec builds the declarative dynamic-stability scenario: the
+// rule-coordinated DTM under the noisy square wave.
+func Fig5Spec(fc Fig5Config) scenario.Spec {
+	return scenario.Spec{
+		Kind:     scenario.KindSingle,
+		Name:     "fig5",
+		Duration: fc.Duration,
+		Jobs: []scenario.JobSpec{{
+			Name: "rcoord",
+			Workload: scenario.FactoryRef{
+				Name: "noisy-square",
+				Seed: fc.Seed,
+				Params: scenario.Params{
+					"period": float64(fc.Period),
+					"sigma":  fc.NoiseSigma,
+				},
+			},
+			Policy:    scenario.FactoryRef{Name: "rcoord", Params: scenario.Params{"ref_temp": 75}},
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		}},
+		Record: true,
+	}
+}
+
+// Fig5 runs the dynamic-stability experiment through the scenario runner.
 func Fig5(fc Fig5Config) (*Fig5Result, error) {
-	cfg := DefaultConfig()
-	noisy, err := workload.NewNoisy(workload.PaperSquare(fc.Period), fc.NoiseSigma, cfg.Tick, fc.Seed)
+	out, err := scenario.Run(Fig5Spec(fc))
 	if err != nil {
 		return nil, err
 	}
-	pol, err := core.NewRuleCoord(cfg, 75)
+	return Fig5FromOutcome(fc, out)
+}
+
+// Fig5FromOutcome post-processes a (possibly cached) outcome.
+func Fig5FromOutcome(fc Fig5Config, out *scenario.Outcome) (*Fig5Result, error) {
+	if len(out.Units) != 1 {
+		return nil, fmt.Errorf("experiments: fig5 outcome has %d units", len(out.Units))
+	}
+	u := &out.Units[0]
+	ts, err := scenario.ToTraceSet(u.Series)
 	if err != nil {
 		return nil, err
 	}
-	server, err := newServer(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(server, sim.RunConfig{
-		Duration:  fc.Duration,
-		Workload:  noisy,
-		Policy:    pol,
-		Record:    true,
-		WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
-	})
-	if err != nil {
-		return nil, err
-	}
-	fan := res.Traces.Get("fan_cmd")
+	m := scenario.SimMetrics(u)
+	fan := ts.Get("fan_cmd")
 	// Classify the late two thirds (skip the cold-ish start transient).
 	vals := fan.Window(float64(fc.Duration)/3, float64(fc.Duration)).Values()
 	osc := tuning.Classify(vals, 300, 0.5)
 	return &Fig5Result{
-		Traces:      res.Traces,
-		Metrics:     res.Metrics,
+		Traces:      ts,
+		Metrics:     m,
 		Oscillation: osc,
-		MaxJunction: res.Metrics.MaxJunction,
+		MaxJunction: m.MaxJunction,
 	}, nil
 }

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -63,117 +63,130 @@ func DefaultTable3() Table3Config {
 	}
 }
 
-// buildWorkload assembles the Table III demand trace.
+// table3Base is the platform configuration the comparison runs on.
+func table3Base(tc Table3Config) sim.Config {
+	cfg := DefaultConfig()
+	if tc.Ambient != 0 {
+		cfg.Ambient = tc.Ambient
+	}
+	return cfg
+}
+
+// table3WorkloadRef names the evaluation demand trace in the scenario
+// registry (the "table3" workload: noisy square wave plus phase-locked
+// full-load spikes).
+func table3WorkloadRef(tc Table3Config) scenario.FactoryRef {
+	return scenario.FactoryRef{
+		Name: "table3",
+		Seed: tc.Seed,
+		Params: scenario.Params{
+			"period":    float64(tc.Period),
+			"sigma":     tc.NoiseSigma,
+			"spike_len": float64(tc.SpikeLen),
+			"duration":  float64(tc.Duration),
+		},
+	}
+}
+
+// buildWorkload assembles the Table III demand trace — the same
+// construction the scenario registry performs, exposed for tests.
 func buildWorkload(tc Table3Config, tick units.Seconds) (workload.Generator, error) {
-	base := workload.PaperSquare(tc.Period)
-	noisy, err := workload.NewNoisy(base, tc.NoiseSigma, tick, tc.Seed)
-	if err != nil {
-		return nil, err
+	f, ok := scenario.LookupWorkload("table3")
+	if !ok {
+		return nil, fmt.Errorf("experiments: table3 workload not registered")
 	}
-	if tc.SpikeLen <= 0 {
-		return noisy, nil
-	}
-	// Two bursts per phase per period: spikes out of the idle phase (the
-	// worst case Sec. V-B's low set-point provides headroom for) and out
-	// of the busy phase, paired closely enough that keeping the fan spun
-	// up after the first burst pays off on the second. Offsets are fixed
-	// fractions of the period so any period/duration combination stays
-	// covered.
-	var spikes []workload.Spike
-	periods := int(float64(tc.Duration)/float64(tc.Period)) + 1
-	offsets := []float64{0.15, 0.30, 0.65, 0.80}
-	for p := 0; p < periods; p++ {
-		start := units.Seconds(float64(p)) * tc.Period
-		for _, frac := range offsets {
-			spikes = append(spikes, workload.Spike{
-				Start:    start + units.Seconds(frac*float64(tc.Period)),
-				Duration: tc.SpikeLen,
-				Level:    1.0,
-			})
-		}
-	}
-	return workload.NewSpiky(noisy, spikes)
+	cfg := sim.Default()
+	cfg.Tick = tick
+	ref := table3WorkloadRef(tc)
+	return f(cfg, ref.Seed, ref.Params)
 }
 
-// table3Jobs builds one batch job per Table III solution against the given
-// workload: each job owns a fresh policy and (via the factory) a fresh
-// server, so the five runs are independent and safe to execute in parallel.
-func table3Jobs(cfg sim.Config, gen workload.Generator, duration units.Seconds) ([]sim.Job, []string, error) {
-	policies, err := core.TableIIISolutions(cfg)
-	if err != nil {
-		return nil, nil, err
+// table3PolicyRefs lists the five Table III solutions, in the paper's
+// row order, as registry references.
+func table3PolicyRefs() []scenario.FactoryRef {
+	return []scenario.FactoryRef{
+		{Name: "none"},
+		{Name: "ecoord"},
+		{Name: "rcoord", Params: scenario.Params{"ref_temp": 75}},
+		{Name: "atref"},
+		{Name: "full"},
 	}
-	jobs := make([]sim.Job, len(policies))
-	names := make([]string, len(policies))
-	for i, pol := range policies {
-		names[i] = pol.Name()
-		jobs[i] = sim.Job{
-			Name:   pol.Name(),
-			Server: sim.Factory(cfg),
-			Config: sim.RunConfig{
-				Duration:  duration,
-				Workload:  gen,
-				Policy:    pol,
-				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
-			},
-		}
-	}
-	return jobs, names, nil
 }
 
-// table3Rows folds batch results into the paper's table rows, normalizing
-// fan energy to the first (uncoordinated) row.
-func table3Rows(names []string, results []*sim.Result) []Table3Row {
-	rows := make([]Table3Row, 0, len(results))
-	var baseline units.Joule
-	for i, res := range results {
-		m := res.Metrics
+// Table3Spec builds the declarative comparison: the five solutions share
+// one clock and one demand trace, so the spec is a lockstep cohort — the
+// runner compiles the trace once for all of them.
+func Table3Spec(tc Table3Config) scenario.Spec {
+	wref := table3WorkloadRef(tc)
+	prefs := table3PolicyRefs()
+	jobs := make([]scenario.JobSpec, len(prefs))
+	for i, pref := range prefs {
+		jobs[i] = scenario.JobSpec{
+			Workload:  wref,
+			Policy:    pref,
+			WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+		}
+	}
+	base := table3Base(tc)
+	return scenario.Spec{
+		Kind:     scenario.KindLockstep,
+		Name:     "table3",
+		Base:     &base,
+		Duration: tc.Duration,
+		Jobs:     jobs,
+		Workers:  tc.Workers,
+	}
+}
+
+// table3RowsFromUnits folds outcome units into the paper's table rows,
+// normalizing fan energy to the first (uncoordinated) row.
+func table3RowsFromUnits(unitRows []scenario.Unit) []Table3Row {
+	rows := make([]Table3Row, 0, len(unitRows))
+	var baseline float64
+	for i := range unitRows {
+		u := &unitRows[i]
+		fanE := u.Metric(scenario.MetricFanEnergyJ, 0)
 		if i == 0 {
-			baseline = m.FanEnergy
+			baseline = fanE
 		}
 		norm := 0.0
 		if baseline > 0 {
-			norm = float64(m.FanEnergy) / float64(baseline)
+			norm = fanE / baseline
+		}
+		name := u.Labels["policy"]
+		if name == "" {
+			name = u.Name
 		}
 		rows = append(rows, Table3Row{
-			Name:          names[i],
-			ViolationPct:  m.ViolationFrac * 100,
+			Name:          name,
+			ViolationPct:  u.Metric(scenario.MetricViolationFrac, 0) * 100,
 			NormFanEnergy: norm,
-			FanEnergy:     m.FanEnergy,
-			HWThrottlePct: m.HWThrottleFrac * 100,
-			MaxJunction:   m.MaxJunction,
-			MeanFanSpeed:  m.MeanFanSpeed,
+			FanEnergy:     units.Joule(fanE),
+			HWThrottlePct: u.Metric(scenario.MetricHWThrottleFrac, 0) * 100,
+			MaxJunction:   units.Celsius(u.Metric(scenario.MetricMaxJunctionC, 0)),
+			MeanFanSpeed:  units.RPM(u.Metric(scenario.MetricMeanFanRPM, 0)),
 		})
 	}
 	return rows
 }
 
-// Table3 runs the five Table III solutions through the parallel batch
-// engine and normalizes fan energy to the uncoordinated baseline (row 1).
-// The batch results are order-stable and bit-identical to the historical
-// sequential implementation.
+// Table3 runs the five Table III solutions through the scenario runner
+// (one warm lockstep cohort, bit-identical to the historical RunBatch
+// implementation) and normalizes fan energy to the uncoordinated
+// baseline (row 1).
 func Table3(tc Table3Config) (*Table3Result, error) {
 	if tc.Duration <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration %v", tc.Duration)
 	}
-	cfg := DefaultConfig()
-	if tc.Ambient != 0 {
-		cfg.Ambient = tc.Ambient
-	}
-	gen, err := buildWorkload(tc, cfg.Tick)
+	out, err := scenario.Run(Table3Spec(tc))
 	if err != nil {
 		return nil, err
 	}
-	jobs, names, err := table3Jobs(cfg, gen, tc.Duration)
-	if err != nil {
-		return nil, err
-	}
-	// The five solutions share one clock and one workload trace: the
-	// lockstep engine compiles the trace once for all of them (bit-identical
-	// to RunBatch, which re-evaluates it per solution per tick).
-	results, err := sim.RunLockstep(jobs, sim.BatchOptions{Workers: tc.Workers})
-	if err != nil {
-		return nil, err
-	}
-	return &Table3Result{Rows: table3Rows(names, results)}, nil
+	return Table3FromOutcome(out), nil
+}
+
+// Table3FromOutcome folds a (possibly store-cached) outcome into the
+// paper's table.
+func Table3FromOutcome(out *scenario.Outcome) *Table3Result {
+	return &Table3Result{Rows: table3RowsFromUnits(out.Units)}
 }

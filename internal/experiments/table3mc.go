@@ -3,14 +3,15 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 // Table3MC is the multi-seed Monte Carlo variant of Table III: the same
-// five solutions evaluated across N independent workload-noise seeds, with
-// every (seed, solution) pair fanned out through the parallel batch engine
-// in a single RunBatch call. It reports each solution's mean ± population
+// five solutions evaluated across N independent workload-noise seeds, as
+// one scenario whose (seed, solution) jobs all advance through a single
+// warm lockstep cohort. It reports each solution's mean ± population
 // stddev across seeds, turning the paper's single-draw table into a
 // sampling distribution — one number per cell stops being a coin flip.
 //
@@ -57,9 +58,43 @@ func meanStd(xs []float64) MeanStd {
 	return MeanStd{Mean: stats.Mean(xs), Std: stats.StdDev(xs)}
 }
 
+// Table3MCSpec builds the flat seeds × solutions scenario, seed-major so
+// unit slot s*nSol+i is (seed s, solution i). Jobs of one seed share a
+// workload reference, so the runner compiles that seed's demand trace
+// once for its five solutions.
+func Table3MCSpec(tc Table3Config, nSeeds int) scenario.Spec {
+	prefs := table3PolicyRefs()
+	jobs := make([]scenario.JobSpec, 0, nSeeds*len(prefs))
+	for s := 0; s < nSeeds; s++ {
+		seedCfg := tc
+		seedCfg.Seed = tc.Seed + int64(s)
+		wref := table3WorkloadRef(seedCfg)
+		for _, pref := range prefs {
+			jobs = append(jobs, scenario.JobSpec{
+				// Units must stay addressable per (solution, seed) in a
+				// persisted outcome; the policy label still carries the
+				// paper's row name.
+				Name:      fmt.Sprintf("%s/seed=%d", pref.Name, seedCfg.Seed),
+				Workload:  wref,
+				Policy:    pref,
+				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+			})
+		}
+	}
+	base := table3Base(tc)
+	return scenario.Spec{
+		Kind:     scenario.KindLockstep,
+		Name:     "table3mc",
+		Base:     &base,
+		Duration: tc.Duration,
+		Jobs:     jobs,
+		Workers:  tc.Workers,
+	}
+}
+
 // Table3MC runs the Table III comparison across nSeeds independent noise
 // seeds and aggregates mean ± stddev per solution. All seed × solution
-// runs execute as one batch, so on an m-core machine the wall time
+// runs execute as one scenario, so on an m-core machine the wall time
 // approaches the single-seed cost times ceil(5·nSeeds/m)/5.
 func Table3MC(tc Table3Config, nSeeds int) (*Table3MCResult, error) {
 	if nSeeds < 1 {
@@ -68,58 +103,32 @@ func Table3MC(tc Table3Config, nSeeds int) (*Table3MCResult, error) {
 	if tc.Duration <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive duration %v", tc.Duration)
 	}
-	cfg := DefaultConfig()
-	if tc.Ambient != 0 {
-		cfg.Ambient = tc.Ambient
-	}
-
-	// Assemble the flat job list: seeds × solutions, seed-major so result
-	// slot s*nSol+i is (seed s, solution i).
-	var jobs []sim.Job
-	var names []string
-	seeds := make([]int64, nSeeds)
-	nSol := 0
-	for s := 0; s < nSeeds; s++ {
-		seedCfg := tc
-		seedCfg.Seed = tc.Seed + int64(s)
-		seeds[s] = seedCfg.Seed
-		gen, err := buildWorkload(seedCfg, cfg.Tick)
-		if err != nil {
-			return nil, err
-		}
-		seedJobs, seedNames, err := table3Jobs(cfg, gen, tc.Duration)
-		if err != nil {
-			return nil, err
-		}
-		if s == 0 {
-			names = seedNames
-			nSol = len(seedJobs)
-		}
-		for i := range seedJobs {
-			seedJobs[i].Name = fmt.Sprintf("%s/seed=%d", seedJobs[i].Name, seedCfg.Seed)
-		}
-		jobs = append(jobs, seedJobs...)
-	}
-
-	// All seed × solution jobs share one clock, so they run through the
-	// lockstep engine: each seed's workload trace is precompiled once and
-	// shared by its five solutions instead of being re-evaluated per
-	// solution per tick. Results are bit-identical to RunBatch.
-	results, err := sim.RunLockstep(jobs, sim.BatchOptions{Workers: tc.Workers})
+	out, err := scenario.Run(Table3MCSpec(tc, nSeeds))
 	if err != nil {
 		return nil, err
 	}
+	return Table3MCFromOutcome(tc, nSeeds, out)
+}
 
-	out := &Table3MCResult{Seeds: seeds}
+// Table3MCFromOutcome aggregates a (possibly store-cached) outcome.
+func Table3MCFromOutcome(tc Table3Config, nSeeds int, out *scenario.Outcome) (*Table3MCResult, error) {
+	nSol := len(table3PolicyRefs())
+	if len(out.Units) != nSeeds*nSol {
+		return nil, fmt.Errorf("experiments: table3mc outcome has %d units, want %d", len(out.Units), nSeeds*nSol)
+	}
+	res := &Table3MCResult{Seeds: make([]int64, nSeeds)}
+	for s := 0; s < nSeeds; s++ {
+		res.Seeds[s] = tc.Seed + int64(s)
+	}
 	perSol := make([][]Table3Row, nSol)
 	for s := 0; s < nSeeds; s++ {
-		rows := table3Rows(names, results[s*nSol:(s+1)*nSol])
-		out.PerSeed = append(out.PerSeed, &Table3Result{Rows: rows})
+		rows := table3RowsFromUnits(out.Units[s*nSol : (s+1)*nSol])
+		res.PerSeed = append(res.PerSeed, &Table3Result{Rows: rows})
 		for i, r := range rows {
 			perSol[i] = append(perSol[i], r)
 		}
 	}
-	for i, rows := range perSol {
+	for _, rows := range perSol {
 		pick := func(f func(Table3Row) float64) MeanStd {
 			xs := make([]float64, len(rows))
 			for k, r := range rows {
@@ -127,8 +136,8 @@ func Table3MC(tc Table3Config, nSeeds int) (*Table3MCResult, error) {
 			}
 			return meanStd(xs)
 		}
-		out.Rows = append(out.Rows, Table3MCRow{
-			Name:          names[i],
+		res.Rows = append(res.Rows, Table3MCRow{
+			Name:          rows[0].Name,
 			ViolationPct:  pick(func(r Table3Row) float64 { return r.ViolationPct }),
 			NormFanEnergy: pick(func(r Table3Row) float64 { return r.NormFanEnergy }),
 			HWThrottlePct: pick(func(r Table3Row) float64 { return r.HWThrottlePct }),
@@ -136,5 +145,5 @@ func Table3MC(tc Table3Config, nSeeds int) (*Table3MCResult, error) {
 			MeanFanSpeed:  pick(func(r Table3Row) float64 { return float64(r.MeanFanSpeed) }),
 		})
 	}
-	return out, nil
+	return res, nil
 }

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The registry resolves the factory names a Spec carries into executable
+// generators, policies and kind runners. Registration happens at package
+// init (builtin.go registers everything the repository's experiments
+// need); the read paths are lock-cheap and safe for concurrent use.
+
+// WorkloadFactory builds a demand generator from a spec reference. cfg is
+// the job's resolved platform configuration (per-tick noise overlays need
+// the tick; generators must not read cfg.Ambient — demand is exogenous,
+// and the fleet layer rebuilds inlets without rebuilding generators).
+type WorkloadFactory func(cfg sim.Config, seed int64, p Params) (workload.Generator, error)
+
+// PolicyFactory builds a DTM policy from a spec reference against the
+// job's resolved platform configuration.
+type PolicyFactory func(cfg sim.Config, seed int64, p Params) (sim.Policy, error)
+
+// KindRunner executes one scenario kind. The five built-in kinds register
+// theirs in runner.go; experiment-specific kinds (e.g. the Fig. 1
+// telemetry probe) register from their own packages.
+type KindRunner func(s Spec) (*Outcome, error)
+
+// Registration describes one registry entry for listings: the key plus a
+// one-line usage hint (parameter names for factories).
+type Registration struct {
+	Name string
+	Doc  string
+}
+
+type registry[T any] struct {
+	mu      sync.RWMutex
+	entries map[string]T
+	docs    map[string]string
+}
+
+func (r *registry[T]) register(kind, name, doc string, v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries == nil {
+		r.entries = make(map[string]T)
+		r.docs = make(map[string]string)
+	}
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate %s registration %q", kind, name))
+	}
+	r.entries[name] = v
+	r.docs[name] = doc
+}
+
+func (r *registry[T]) lookup(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.entries[name]
+	return v, ok
+}
+
+func (r *registry[T]) list() []Registration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Registration, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, Registration{Name: name, Doc: r.docs[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+var (
+	workloads registry[WorkloadFactory]
+	policies  registry[PolicyFactory]
+	kinds     registry[KindRunner]
+)
+
+// RegisterWorkload adds a named workload factory. doc is the one-line
+// parameter hint shown by listings (e.g. "period, sigma; seeded").
+// Duplicate names panic: registration is an init-time programming act.
+func RegisterWorkload(name, doc string, f WorkloadFactory) {
+	workloads.register("workload", name, doc, f)
+}
+
+// RegisterPolicy adds a named policy factory.
+func RegisterPolicy(name, doc string, f PolicyFactory) {
+	policies.register("policy", name, doc, f)
+}
+
+// RegisterKind adds a scenario kind runner. The built-in kinds are
+// pre-registered; experiment packages add bespoke kinds (the Fig. 1
+// telemetry probe) so every surface routes through Run and the Store.
+func RegisterKind(name, doc string, f KindRunner) {
+	kinds.register("kind", name, doc, f)
+}
+
+// LookupWorkload resolves a workload factory name.
+func LookupWorkload(name string) (WorkloadFactory, bool) { return workloads.lookup(name) }
+
+// LookupPolicy resolves a policy factory name.
+func LookupPolicy(name string) (PolicyFactory, bool) { return policies.lookup(name) }
+
+// kindRunner resolves a kind runner.
+func kindRunner(name string) (KindRunner, bool) { return kinds.lookup(name) }
+
+// Workloads lists the registered workload factories, sorted by name.
+func Workloads() []Registration { return workloads.list() }
+
+// Policies lists the registered policy factories, sorted by name.
+func Policies() []Registration { return policies.list() }
+
+// KindList lists the registered scenario kinds, sorted by name.
+func KindList() []Registration { return kinds.list() }
+
+// Kinds returns just the registered kind names, sorted.
+func Kinds() []string {
+	regs := kinds.list()
+	names := make([]string, len(regs))
+	for i, r := range regs {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// buildWorkload resolves and invokes a workload reference.
+func buildWorkload(ref FactoryRef, cfg sim.Config) (workload.Generator, error) {
+	f, ok := LookupWorkload(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unregistered workload %q", ref.Name)
+	}
+	gen, err := f(cfg, ref.Seed, ref.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: workload %q: %w", ref.Name, err)
+	}
+	return gen, nil
+}
+
+// buildPolicy resolves and invokes a policy reference.
+func buildPolicy(ref FactoryRef, cfg sim.Config) (sim.Policy, error) {
+	f, ok := LookupPolicy(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unregistered policy %q", ref.Name)
+	}
+	pol, err := f(cfg, ref.Seed, ref.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: policy %q: %w", ref.Name, err)
+	}
+	return pol, nil
+}

@@ -1,0 +1,439 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/fleet"
+	"repro/internal/multicore"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Run executes a scenario: validate, dispatch to the kind's runner, and
+// return the normalized Outcome. Engine selection is the runner's job —
+// sim-kind scenarios advance through one warm sim.Lockstep instance when
+// every job shares the clock (always true for a spec-level horizon) and
+// fall back to sim.RunBatch otherwise; fleet scenarios resolve the shared
+// inlet field through fleet.Run; multicore scenarios use multicore.Run.
+// Results are bit-identical at any Workers value.
+func Run(s Spec) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	runner, _ := kindRunner(s.Kind)
+	out, err := runner(s)
+	if err != nil {
+		return nil, err
+	}
+	runsExecuted.Add(1)
+	return out, nil
+}
+
+// Probe counters: how much simulation this process has actually executed.
+// Cache hits served by a Store add nothing, which is what lets tests and
+// the CI smoke assert that a warm Sweep performs zero simulation ticks.
+var (
+	simTicksRun  atomic.Int64
+	runsExecuted atomic.Int64
+)
+
+// ProbeSimTicks returns the total number of server-ticks simulated by
+// scenario runners in this process (every lane of every relaxation pass
+// counts).
+func ProbeSimTicks() int64 { return simTicksRun.Load() }
+
+// ProbeRuns returns how many scenarios have been executed (not served
+// from a store) in this process.
+func ProbeRuns() int64 { return runsExecuted.Load() }
+
+// AddSimTicks feeds the tick probe; custom kind runners call it with the
+// work they performed.
+func AddSimTicks(n int64) { simTicksRun.Add(n) }
+
+func init() {
+	RegisterKind(KindSingle, "one closed-loop run (sim.Run)", runSingle)
+	RegisterKind(KindBatch, "concurrent jobs, auto engine (lockstep or batch)", runSimBatch)
+	RegisterKind(KindLockstep, "concurrent jobs, lockstep engine asserted", runSimBatch)
+	RegisterKind(KindFleet, "rack with shared inlet field (fleet.Run)", runFleet)
+	RegisterKind(KindMulticore, "three-controller N-core run (multicore.Run)", runMulticore)
+}
+
+// serverFactory builds the job's platform factory, wiring the declarative
+// fault chain (clean physical chain feeding a wedged/congested transport)
+// when the spec asks for it.
+func serverFactory(cfg sim.Config, f *FaultSpec) sim.ServerFactory {
+	if !f.enabled() {
+		return sim.Factory(cfg)
+	}
+	spec := *f
+	return func() (*sim.PhysicalServer, error) {
+		server, err := sim.NewPhysicalServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		base, err := sensor.New(cfg.Sensor)
+		if err != nil {
+			return nil, err
+		}
+		stages := []sensor.Stage{base}
+		if spec.DropoutRate > 0 {
+			drop, err := sensor.NewDropout(spec.DropoutRate, spec.DropoutSeed)
+			if err != nil {
+				return nil, err
+			}
+			stages = append(stages, drop)
+		}
+		if spec.StuckLen > 0 {
+			stuck, err := sensor.NewStuckAt(spec.StuckAt, spec.StuckAt+spec.StuckLen)
+			if err != nil {
+				return nil, err
+			}
+			stages = append(stages, stuck)
+		}
+		if err := server.ReplaceSensor(sensor.NewPipeline(stages...)); err != nil {
+			return nil, err
+		}
+		return server, nil
+	}
+}
+
+// buildSimJobs materializes the spec's jobs for the batch engines. Jobs
+// whose (workload ref, platform) pairs are identical share one generator
+// instance — generators are read-only during a run, and the sharing lets
+// the lockstep engine compile the demand schedule once per distinct trace
+// (Table III's five solutions, a Monte Carlo seed's cohort) instead of
+// once per job. The returned policies slice lets callers label units with
+// the built policies' names.
+func (s *Spec) buildSimJobs() ([]sim.Job, []string, error) {
+	jobs := make([]sim.Job, len(s.Jobs))
+	polNames := make([]string, len(s.Jobs))
+	genCache := make(map[string]workload.Generator)
+	for i, j := range s.Jobs {
+		cfg := s.base()
+		if j.Config != nil {
+			cfg = *j.Config
+		}
+		gen, err := sharedWorkload(genCache, j.Workload, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: job %d (%s): %w", i, j.Name, err)
+		}
+		pol, err := buildPolicy(j.Policy, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: job %d (%s): %w", i, j.Name, err)
+		}
+		polNames[i] = pol.Name()
+		name := j.Name
+		if name == "" {
+			name = pol.Name()
+		}
+		jobs[i] = sim.Job{
+			Name:   name,
+			Server: serverFactory(cfg, j.Faults),
+			Config: sim.RunConfig{
+				Duration:    s.Duration,
+				Workload:    gen,
+				Policy:      pol,
+				Record:      s.Record,
+				RecordPower: s.RecordPower,
+				WarmStart:   j.WarmStart,
+			},
+		}
+	}
+	return jobs, polNames, nil
+}
+
+// sharedWorkload builds (or reuses) the generator for a (ref, platform)
+// pair. The cache key is the canonical JSON of both, so only genuinely
+// identical constructions alias — the safe direction, since a stale share
+// would corrupt determinism while a missed share only costs a rebuild.
+func sharedWorkload(cache map[string]workload.Generator, ref FactoryRef, cfg sim.Config) (workload.Generator, error) {
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		return nil, err
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := string(refJSON) + "|" + string(cfgJSON)
+	if gen, ok := cache[key]; ok {
+		return gen, nil
+	}
+	gen, err := buildWorkload(ref, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = gen
+	return gen, nil
+}
+
+// simOutcome folds batch results into the normalized shape.
+func simOutcome(kind string, jobs []sim.Job, polNames []string, results []*sim.Result) *Outcome {
+	out := &Outcome{Kind: kind, Units: make([]Unit, len(results))}
+	var ticks int64
+	for i, r := range results {
+		out.Units[i] = Unit{
+			Name:    jobs[i].Name,
+			Labels:  map[string]string{"policy": polNames[i]},
+			Metrics: simMetricsMap(r.Metrics),
+			Series:  FromTraceSet(r.Traces),
+		}
+		ticks += int64(r.Metrics.Ticks)
+	}
+	AddSimTicks(ticks)
+	return out
+}
+
+// runSingle executes a one-job scenario on the plain engine.
+func runSingle(s Spec) (*Outcome, error) {
+	jobs, polNames, err := s.buildSimJobs()
+	if err != nil {
+		return nil, err
+	}
+	server, err := jobs[0].Server()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(server, jobs[0].Config)
+	if err != nil {
+		return nil, err
+	}
+	return simOutcome(s.Kind, jobs, polNames, []*sim.Result{res}), nil
+}
+
+// runSimBatch executes a multi-job scenario. KindBatch auto-selects the
+// engine through sim.RunLockstep (one warm lockstep instance when the
+// jobs share tick and duration — bit-identical to RunBatch — with a
+// RunBatch fallback otherwise); KindLockstep asserts lockstep eligibility
+// instead of falling back.
+func runSimBatch(s Spec) (*Outcome, error) {
+	jobs, polNames, err := s.buildSimJobs()
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.BatchOptions{Workers: s.Workers}
+	var results []*sim.Result
+	if s.Kind == KindLockstep {
+		ls, err := sim.NewLockstep(jobs, opts)
+		if err != nil {
+			return nil, err
+		}
+		results, err = ls.Run()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		results, err = sim.RunLockstep(jobs, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return simOutcome(s.Kind, jobs, polNames, results), nil
+}
+
+// fleetConfig materializes the spec's rack as a fleet.Config.
+func (s *Spec) fleetConfig() (fleet.Config, error) {
+	fs := s.Fleet
+	var cfg fleet.Config
+	if fs.Size > 0 {
+		layout := make([]fleet.Aisle, len(fs.Layout))
+		for i, name := range fs.Layout {
+			a, err := parseAisle(name)
+			if err != nil {
+				return fleet.Config{}, err
+			}
+			layout[i] = a
+		}
+		rack, err := fleet.NewRack(fs.Size, layout, fs.Seed)
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		// NewRack populates nodes with the Table I platform; a declared
+		// Base replaces it on every generated node (Base is part of the
+		// spec's identity hash, so it must also shape the run).
+		if s.Base != nil {
+			for i := range rack.Nodes {
+				rack.Nodes[i].Config = *s.Base
+			}
+		}
+		cfg = rack
+	} else {
+		cfg.Nodes = make([]fleet.NodeSpec, len(fs.Nodes))
+		for i, n := range fs.Nodes {
+			aisle, err := parseAisle(n.Aisle)
+			if err != nil {
+				return fleet.Config{}, err
+			}
+			nodeCfg := s.base()
+			if n.Config != nil {
+				nodeCfg = *n.Config
+			}
+			wref, pref := n.Workload, n.Policy
+			cfg.Nodes[i] = fleet.NodeSpec{
+				Name:   n.Name,
+				Aisle:  aisle,
+				Slot:   n.Slot,
+				Config: nodeCfg,
+				Workload: func(c sim.Config) (workload.Generator, error) {
+					return buildWorkload(wref, c)
+				},
+				Policy: func(c sim.Config) (sim.Policy, error) {
+					return buildPolicy(pref, c)
+				},
+				WarmStart: n.WarmStart,
+			}
+		}
+		cfg.Supply = 24
+		cfg.AisleOffsets = fleet.DefaultOffsets()
+	}
+	if fs.Supply != 0 {
+		cfg.Supply = fs.Supply
+	}
+	if fs.AisleOffsets != nil {
+		cfg.AisleOffsets = [fleet.NumAisles]units.Celsius{
+			fleet.Cold: fs.AisleOffsets[0],
+			fleet.Mid:  fs.AisleOffsets[1],
+			fleet.Hot:  fs.AisleOffsets[2],
+		}
+	}
+	cfg.Recirc = fs.Recirc
+	cfg.RecircPasses = fs.RecircPasses
+	cfg.RecircTol = fs.RecircTol
+	cfg.MaxRecircPasses = fs.MaxRecircPasses
+	cfg.Duration = s.Duration // Validate guarantees > 0
+	cfg.Workers = s.Workers
+	cfg.Record = s.Record
+	return cfg, nil
+}
+
+// The fleet aggregate metric keys.
+const (
+	MetricPasses         = "passes"
+	MetricTotalEnergyJ   = "total_energy_j"
+	MetricFanEnergyShare = "fan_energy_share"
+	MetricPeakRackPowerW = "peak_rack_power_w"
+	MetricMeanRackPowerW = "mean_rack_power_w"
+	MetricSlot           = "slot"
+	MetricInletC         = "inlet_c"
+)
+
+// runFleet executes a rack scenario through the fleet engine.
+func runFleet(s Spec) (*Outcome, error) {
+	cfg, err := s.fleetConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Kind: s.Kind, Units: make([]Unit, len(res.Nodes))}
+	for i, n := range res.Nodes {
+		m := simMetricsMap(n.Metrics)
+		m[MetricSlot] = float64(n.Slot)
+		m[MetricInletC] = float64(n.Inlet)
+		out.Units[i] = Unit{
+			Name:    n.Name,
+			Labels:  map[string]string{"aisle": n.Aisle.String()},
+			Metrics: m,
+			Series:  FromTraceSet(n.Traces),
+		}
+	}
+	agg := map[string]float64{
+		MetricPasses:         float64(res.Passes),
+		MetricTicks:          float64(res.Ticks),
+		MetricViolationFrac:  res.ViolationFrac,
+		MetricFanEnergyJ:     float64(res.FanEnergy),
+		MetricCPUEnergyJ:     float64(res.CPUEnergy),
+		MetricTotalEnergyJ:   float64(res.TotalEnergy),
+		MetricFanEnergyShare: res.FanEnergyShare,
+		MetricMaxJunctionC:   float64(res.MaxJunction),
+		MetricTimeAboveS:     float64(res.TimeAboveLimit),
+		MetricPeakRackPowerW: float64(res.PeakRackPower),
+		MetricMeanRackPowerW: float64(res.MeanRackPower),
+	}
+	for a, am := range res.Aisles {
+		if am.Nodes == 0 {
+			continue
+		}
+		prefix := "aisle_" + fleet.Aisle(a).String() + "_"
+		agg[prefix+"nodes"] = float64(am.Nodes)
+		agg[prefix+MetricViolationFrac] = am.ViolationFrac
+		agg[prefix+MetricFanEnergyJ] = float64(am.FanEnergy)
+		agg[prefix+MetricCPUEnergyJ] = float64(am.CPUEnergy)
+		agg[prefix+MetricMaxJunctionC] = float64(am.MaxJunction)
+		agg[prefix+"mean_inlet_c"] = float64(am.MeanInlet)
+	}
+	out.Aggregate = agg
+	AddSimTicks(int64(res.Ticks) * int64(len(res.Nodes)) * int64(res.Passes))
+	return out, nil
+}
+
+// The multicore metric keys.
+const (
+	MetricMigrations      = "migrations"
+	MetricFanAmplitudeRPM = "fan_amplitude_rpm"
+	MetricCoreSpreadC     = "core_spread_c"
+)
+
+// runMulticore executes the three-controller scenario.
+func runMulticore(s Spec) (*Outcome, error) {
+	ms := s.Multicore
+	mc := multicore.DefaultConfig()
+	mc.Base = s.base()
+	if ms.NCore > 0 {
+		mc.NCore = ms.NCore
+	}
+	if ms.CoreRes != 0 {
+		mc.CoreRes = ms.CoreRes
+	} else {
+		// Keep the balanced-load equivalence with the single-socket
+		// model: N cores in parallel must reproduce DieRes.
+		mc.CoreRes = mc.Base.DieRes * units.KPerW(mc.NCore)
+	}
+	if ms.LateralRes != 0 {
+		mc.LateralRes = ms.LateralRes
+	}
+	gen, err := buildWorkload(ms.Workload, mc.Base)
+	if err != nil {
+		return nil, err
+	}
+	res, err := multicore.Run(multicore.RunConfig{
+		Config:     mc,
+		Duration:   s.Duration,
+		Workload:   gen,
+		RefTemp:    ms.RefTemp,
+		Skewed:     ms.Skewed,
+		Coordinate: ms.Coordinate,
+		Record:     s.Record,
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := s.Name
+	if name == "" {
+		name = "multicore"
+	}
+	nTicks := int64(float64(s.Duration) / float64(mc.Base.Tick))
+	AddSimTicks(nTicks)
+	return &Outcome{
+		Kind: s.Kind,
+		Units: []Unit{{
+			Name: name,
+			Metrics: map[string]float64{
+				MetricTicks:           float64(nTicks),
+				MetricViolationFrac:   res.ViolationFrac,
+				MetricMigrations:      float64(res.Migrations),
+				MetricFanEnergyJ:      float64(res.FanEnergy),
+				MetricMaxJunctionC:    float64(res.MaxJunction),
+				MetricFanAmplitudeRPM: res.FanAmplitude,
+				MetricCoreSpreadC:     res.CoreSpread,
+			},
+			Series: FromTraceSet(res.Traces),
+		}},
+	}, nil
+}

@@ -1,0 +1,340 @@
+// Package scenario is the unified experiment surface of the repository:
+// one declarative Spec describes any simulation the other layers can run —
+// a single closed-loop server, a homogeneous batch, a lockstep cohort, a
+// rack with a shared inlet field, or the multicore three-controller
+// scenario — and Run executes it on the fastest eligible engine and
+// returns one normalized Outcome.
+//
+// A Spec is plain data: platform configurations are embedded verbatim
+// (sim.Config, fleet parameters), while workloads and policies are named
+// references into a process-wide registry (see registry.go) with scalar
+// parameters and an explicit seed. Plain data buys three things:
+//
+//   - every experiment entry point (internal/experiments, cmd/experiments,
+//     cmd/fansim, the examples) shares one shape instead of growing its own
+//     XxxConfig;
+//   - a Spec canonicalizes to stable JSON, so its SHA-256 content hash
+//     keys a persistent result store (store.go) and Sweep resumes
+//     incrementally instead of recomputing finished cells;
+//   - new surfaces (a future fleet coordinator, remote execution) plug in
+//     by registering a kind runner, not by inventing another API.
+//
+// The legacy internal/experiments entry points remain as thin adapters
+// that build Specs and post-process Outcomes; their results are
+// bit-identical to the pre-scenario implementations (asserted by tests).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// The built-in scenario kinds. Custom kinds (e.g. the Fig. 1 telemetry
+// probe) register their own runners via RegisterKind.
+const (
+	// KindSingle runs exactly one job on the plain engine (sim.Run).
+	KindSingle = "single"
+	// KindBatch runs the jobs concurrently, auto-selecting the engine:
+	// one warm sim.Lockstep instance when every job shares the clock
+	// (always true for spec-level Duration), sim.RunBatch otherwise.
+	KindBatch = "batch"
+	// KindLockstep is KindBatch with the lockstep engine asserted: the
+	// run fails instead of falling back when the jobs are heterogeneous.
+	KindLockstep = "lockstep"
+	// KindFleet runs a rack through fleet.Run (shared inlet field,
+	// recirculation fixed point).
+	KindFleet = "fleet"
+	// KindMulticore runs the three-controller N-core scenario through
+	// multicore.Run.
+	KindMulticore = "multicore"
+)
+
+// Params carries a factory's scalar parameters. Values are float64 —
+// integers up to 2^53 survive exactly; seeds, which need all 64 bits,
+// travel in FactoryRef.Seed instead.
+type Params map[string]float64
+
+// Get returns the parameter or the default when absent.
+func (p Params) Get(key string, def float64) float64 {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Keys returns the parameter names in sorted order.
+func (p Params) Keys() []string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FactoryRef names a registered workload or policy factory plus its
+// parameters. The referenced factory rebuilds the exact generator or
+// policy on every run, so a ref is as deterministic as the code behind it.
+type FactoryRef struct {
+	// Name is the registry key (see Workloads / Policies for the list).
+	Name string `json:"name"`
+	// Seed is the factory's random seed, carried as int64 so mixing-hash
+	// seeds (stats.SubSeed) keep all 64 bits. Zero for seedless factories.
+	Seed int64 `json:"seed,omitempty"`
+	// Params are the factory's scalar parameters.
+	Params Params `json:"params,omitempty"`
+}
+
+// FaultSpec declaratively describes the telemetry fault chain injected on
+// the firmware side of a job's sensor path: a stuck interval plus a
+// sustained dropout rate (the internal/experiments robustness scenario).
+// The zero value injects nothing.
+type FaultSpec struct {
+	// StuckAt / StuckLen wedge the sensor output from StuckAt for
+	// StuckLen seconds. StuckLen <= 0 disables the stuck stage.
+	StuckAt  units.Seconds `json:"stuck_at,omitempty"`
+	StuckLen units.Seconds `json:"stuck_len,omitempty"`
+	// DropoutRate is the per-sample probability a reading is lost;
+	// DropoutSeed decides which ones. Rate 0 disables the stage.
+	DropoutRate float64 `json:"dropout_rate,omitempty"`
+	DropoutSeed int64   `json:"dropout_seed,omitempty"`
+}
+
+// enabled reports whether the spec injects any fault stage.
+func (f *FaultSpec) enabled() bool {
+	return f != nil && (f.StuckLen > 0 || f.DropoutRate > 0)
+}
+
+// JobSpec is one independent closed-loop run within a single/batch/
+// lockstep scenario.
+type JobSpec struct {
+	// Name labels the job's unit in the Outcome (defaults to the built
+	// policy's name).
+	Name string `json:"name,omitempty"`
+	// Config overrides the spec's Base platform for this job only.
+	Config *sim.Config `json:"config,omitempty"`
+	// Workload names the demand generator. Required.
+	Workload FactoryRef `json:"workload"`
+	// Policy names the DTM under test. Required.
+	Policy FactoryRef `json:"policy"`
+	// WarmStart optionally starts the platform at thermal steady state.
+	WarmStart *sim.WarmPoint `json:"warm_start,omitempty"`
+	// Faults optionally injects the telemetry fault chain.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FleetNode is one explicit rack position in a fleet scenario.
+type FleetNode struct {
+	Name string `json:"name"`
+	// Aisle is "cold", "mid" or "hot".
+	Aisle string `json:"aisle"`
+	// Slot is the node's depth along its aisle's airflow path.
+	Slot int `json:"slot"`
+	// Config overrides the spec's Base platform for this node.
+	Config *sim.Config `json:"config,omitempty"`
+	// Workload and Policy name the node's generators. Required.
+	Workload FactoryRef `json:"workload"`
+	Policy   FactoryRef `json:"policy"`
+	// WarmStart optionally starts the node at a thermal operating point.
+	WarmStart *sim.WarmPoint `json:"warm_start,omitempty"`
+}
+
+// FleetSpec describes a rack scenario: either a generated heterogeneous
+// rack (Size > 0, via fleet.NewRack) or an explicit node list.
+type FleetSpec struct {
+	// Size > 0 generates a fleet.NewRack rack with the given layout
+	// pattern and root seed; Nodes must then be empty.
+	Size   int      `json:"size,omitempty"`
+	Layout []string `json:"layout,omitempty"` // aisle names, cycled
+	Seed   int64    `json:"seed,omitempty"`
+	// Nodes is the explicit rack population when Size == 0.
+	Nodes []FleetNode `json:"nodes,omitempty"`
+
+	// Supply is the CRAC supply temperature; zero means 24 °C (the
+	// fleet.Sweep convention).
+	Supply units.Celsius `json:"supply,omitempty"`
+	// AisleOffsets is added to Supply per aisle position (cold, mid,
+	// hot); nil means fleet.DefaultOffsets.
+	AisleOffsets *[3]units.Celsius `json:"aisle_offsets,omitempty"`
+	// Recirc / RecircPasses / RecircTol / MaxRecircPasses mirror
+	// fleet.Config's recirculation controls.
+	Recirc          units.KPerW   `json:"recirc,omitempty"`
+	RecircPasses    int           `json:"recirc_passes,omitempty"`
+	RecircTol       units.Celsius `json:"recirc_tol,omitempty"`
+	MaxRecircPasses int           `json:"max_recirc_passes,omitempty"`
+}
+
+// MulticoreSpec describes the three-controller N-core scenario.
+type MulticoreSpec struct {
+	// NCore / CoreRes / LateralRes mirror multicore.Config; zero values
+	// take multicore.DefaultConfig defaults (scaled to the Base config).
+	NCore      int           `json:"ncore,omitempty"`
+	CoreRes    units.KPerW   `json:"core_res,omitempty"`
+	LateralRes units.KPerW   `json:"lateral_res,omitempty"`
+	Workload   FactoryRef    `json:"workload"`
+	RefTemp    units.Celsius `json:"ref_temp,omitempty"`
+	Skewed     bool          `json:"skewed,omitempty"`
+	Coordinate bool          `json:"coordinate,omitempty"`
+}
+
+// Spec is the declarative description of one experiment scenario. It is
+// plain data end to end: marshal it, hash it, store it, rebuild the exact
+// run from it.
+type Spec struct {
+	// Kind selects the runner (see the Kind constants and RegisterKind).
+	Kind string `json:"kind"`
+	// Name labels the scenario in stores and listings (not semantic for
+	// execution, but part of the identity hash: two differently named
+	// scenarios are different cells).
+	Name string `json:"name,omitempty"`
+	// Base is the platform configuration shared by jobs/nodes that do not
+	// override it; nil means sim.Default().
+	Base *sim.Config `json:"base,omitempty"`
+	// Duration is the simulated horizon, shared by every job/node.
+	Duration units.Seconds `json:"duration,omitempty"`
+	// Jobs populate single/batch/lockstep scenarios.
+	Jobs []JobSpec `json:"jobs,omitempty"`
+	// Fleet populates fleet scenarios.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+	// Multicore populates multicore scenarios.
+	Multicore *MulticoreSpec `json:"multicore,omitempty"`
+	// Params parameterizes custom kinds (registered via RegisterKind).
+	Params Params `json:"params,omitempty"`
+	// Record captures full per-tick series into the Outcome (memory- and
+	// store-heavy for long runs); RecordPower captures only the
+	// "total_power" series. Both are semantic: they change the Outcome's
+	// content, so they participate in the identity hash.
+	Record      bool `json:"record,omitempty"`
+	RecordPower bool `json:"record_power,omitempty"`
+
+	// Workers caps engine concurrency (0 = GOMAXPROCS). Results are
+	// bit-identical at any value, so Workers is an execution knob, not
+	// part of the scenario's identity: it is excluded from JSON and from
+	// the content hash.
+	Workers int `json:"-"`
+}
+
+// base returns the effective shared platform configuration.
+func (s *Spec) base() sim.Config {
+	if s.Base != nil {
+		return *s.Base
+	}
+	return sim.Default()
+}
+
+// Validate reports the first structural problem, or nil. Factory names
+// are resolved (but not invoked) so a typo fails before any simulation.
+func (s *Spec) Validate() error {
+	if _, ok := kindRunner(s.Kind); !ok {
+		return fmt.Errorf("scenario: unknown kind %q (registered: %v)", s.Kind, Kinds())
+	}
+	// A populated block the kind never reads would still perturb the
+	// content hash — two semantically identical scenarios would occupy
+	// different store cells — so inert blocks are errors, not noise.
+	switch s.Kind {
+	case KindSingle, KindBatch, KindLockstep:
+		if s.Fleet != nil || s.Multicore != nil || len(s.Params) > 0 {
+			return fmt.Errorf("scenario: %s spec carries blocks its kind ignores (fleet/multicore/params)", s.Kind)
+		}
+	case KindFleet:
+		if len(s.Jobs) > 0 || s.Multicore != nil || len(s.Params) > 0 {
+			return fmt.Errorf("scenario: fleet spec carries blocks its kind ignores (jobs/multicore/params)")
+		}
+	case KindMulticore:
+		if len(s.Jobs) > 0 || s.Fleet != nil || len(s.Params) > 0 {
+			return fmt.Errorf("scenario: multicore spec carries blocks its kind ignores (jobs/fleet/params)")
+		}
+	}
+	switch s.Kind {
+	case KindSingle, KindBatch, KindLockstep:
+		if len(s.Jobs) == 0 {
+			return fmt.Errorf("scenario: %s spec has no jobs", s.Kind)
+		}
+		if s.Kind == KindSingle && len(s.Jobs) != 1 {
+			return fmt.Errorf("scenario: single spec has %d jobs", len(s.Jobs))
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
+		}
+		for i, j := range s.Jobs {
+			if err := checkRef(j.Workload, LookupWorkload); err != nil {
+				return fmt.Errorf("scenario: job %d (%s) workload: %w", i, j.Name, err)
+			}
+			if err := checkRef(j.Policy, LookupPolicy); err != nil {
+				return fmt.Errorf("scenario: job %d (%s) policy: %w", i, j.Name, err)
+			}
+		}
+	case KindFleet:
+		if s.Fleet == nil {
+			return fmt.Errorf("scenario: fleet spec missing Fleet block")
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
+		}
+		if s.Fleet.Size > 0 && len(s.Fleet.Nodes) > 0 {
+			return fmt.Errorf("scenario: fleet spec sets both Size and Nodes")
+		}
+		if s.Fleet.Size == 0 && len(s.Fleet.Nodes) == 0 {
+			return fmt.Errorf("scenario: fleet spec has neither Size nor Nodes")
+		}
+		for i, n := range s.Fleet.Nodes {
+			if _, err := parseAisle(n.Aisle); err != nil {
+				return fmt.Errorf("scenario: fleet node %d (%s): %w", i, n.Name, err)
+			}
+			if err := checkRef(n.Workload, LookupWorkload); err != nil {
+				return fmt.Errorf("scenario: fleet node %d (%s) workload: %w", i, n.Name, err)
+			}
+			if err := checkRef(n.Policy, LookupPolicy); err != nil {
+				return fmt.Errorf("scenario: fleet node %d (%s) policy: %w", i, n.Name, err)
+			}
+		}
+		for _, a := range s.Fleet.Layout {
+			if _, err := parseAisle(a); err != nil {
+				return fmt.Errorf("scenario: fleet layout: %w", err)
+			}
+		}
+	case KindMulticore:
+		if s.Multicore == nil {
+			return fmt.Errorf("scenario: multicore spec missing Multicore block")
+		}
+		if s.Duration <= 0 {
+			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
+		}
+		if err := checkRef(s.Multicore.Workload, LookupWorkload); err != nil {
+			return fmt.Errorf("scenario: multicore workload: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkRef resolves a factory reference against a lookup, without
+// invoking the factory.
+func checkRef[T any](ref FactoryRef, lookup func(string) (T, bool)) error {
+	if ref.Name == "" {
+		return fmt.Errorf("empty factory name")
+	}
+	if _, ok := lookup(ref.Name); !ok {
+		return fmt.Errorf("unregistered factory %q", ref.Name)
+	}
+	return nil
+}
+
+// parseAisle maps an aisle name to the fleet position class.
+func parseAisle(s string) (fleet.Aisle, error) {
+	switch s {
+	case "cold":
+		return fleet.Cold, nil
+	case "mid":
+		return fleet.Mid, nil
+	case "hot":
+		return fleet.Hot, nil
+	}
+	return 0, fmt.Errorf("unknown aisle %q (want cold|mid|hot)", s)
+}
+
+// AisleName returns the canonical spec name for a fleet aisle.
+func AisleName(a fleet.Aisle) string { return a.String() }

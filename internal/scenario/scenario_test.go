@@ -1,0 +1,393 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// cheapSpec returns a fast deterministic single-run scenario for store
+// and sweep tests; the ambient knob makes distinct cells.
+func cheapSpec(ambient float64) Spec {
+	cfg := sim.Default()
+	cfg.Ambient = units.Celsius(ambient)
+	return Spec{
+		Kind:     KindSingle,
+		Name:     "cheap",
+		Base:     &cfg,
+		Duration: 120,
+		Jobs: []JobSpec{{
+			Workload: FactoryRef{Name: "constant", Params: Params{"u": 0.6}},
+			Policy:   FactoryRef{Name: "hold", Params: Params{"fan": 3000}},
+		}},
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown kind", Spec{Kind: "warp"}},
+		{"no jobs", Spec{Kind: KindBatch, Duration: 10}},
+		{"single with two jobs", func() Spec {
+			s := cheapSpec(25)
+			s.Jobs = append(s.Jobs, s.Jobs[0])
+			return s
+		}()},
+		{"no duration", func() Spec {
+			s := cheapSpec(25)
+			s.Duration = 0
+			return s
+		}()},
+		{"unregistered workload", func() Spec {
+			s := cheapSpec(25)
+			s.Jobs[0].Workload.Name = "nope"
+			return s
+		}()},
+		{"unregistered policy", func() Spec {
+			s := cheapSpec(25)
+			s.Jobs[0].Policy.Name = "nope"
+			return s
+		}()},
+		{"fleet without block", Spec{Kind: KindFleet}},
+		{"fleet with size and nodes", Spec{Kind: KindFleet, Duration: 10, Fleet: &FleetSpec{
+			Size:  2,
+			Nodes: []FleetNode{{Name: "a", Aisle: "cold"}},
+		}}},
+		{"fleet bad aisle", Spec{Kind: KindFleet, Duration: 10, Fleet: &FleetSpec{
+			Nodes: []FleetNode{{
+				Name: "a", Aisle: "tepid",
+				Workload: FactoryRef{Name: "constant"},
+				Policy:   FactoryRef{Name: "full"},
+			}},
+		}}},
+		{"multicore without block", Spec{Kind: KindMulticore, Duration: 10}},
+		{"fleet without duration", Spec{Kind: KindFleet, Fleet: &FleetSpec{Size: 2}}},
+		{"fleet negative duration", Spec{Kind: KindFleet, Duration: -5, Fleet: &FleetSpec{Size: 2}}},
+		{"sim kind with inert fleet block", func() Spec {
+			s := cheapSpec(25)
+			s.Fleet = &FleetSpec{Size: 2}
+			return s
+		}()},
+		{"sim kind with inert params", func() Spec {
+			s := cheapSpec(25)
+			s.Params = Params{"x": 1}
+			return s
+		}()},
+		{"fleet with inert jobs", Spec{Kind: KindFleet, Duration: 10,
+			Fleet: &FleetSpec{Size: 2},
+			Jobs:  []JobSpec{{Workload: FactoryRef{Name: "constant"}, Policy: FactoryRef{Name: "full"}}}}},
+		{"multicore with inert fleet", Spec{Kind: KindMulticore, Duration: 10,
+			Multicore: &MulticoreSpec{Workload: FactoryRef{Name: "constant"}},
+			Fleet:     &FleetSpec{Size: 2}}},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	good := cheapSpec(25)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+// TestRunSingleMatchesDirect pins the single-kind runner to a direct
+// sim.Run with the same construction.
+func TestRunSingleMatchesDirect(t *testing.T) {
+	spec := cheapSpec(28)
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := *spec.Base
+	server, err := sim.NewPhysicalServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(server, sim.RunConfig{
+		Duration: spec.Duration,
+		Workload: mustWorkload(t, spec.Jobs[0].Workload, cfg),
+		Policy:   sim.HoldPolicy{Fan: 3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SimMetrics(&out.Units[0]); got != res.Metrics {
+		t.Errorf("metrics:\nscenario %+v\ndirect   %+v", got, res.Metrics)
+	}
+	if out.Units[0].Labels["policy"] != "hold" {
+		t.Errorf("policy label = %q", out.Units[0].Labels["policy"])
+	}
+}
+
+func mustWorkload(t *testing.T, ref FactoryRef, cfg sim.Config) workload.Generator {
+	t.Helper()
+	g, err := buildWorkload(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBatchKindsBitIdentical: the same jobs through single, batch and
+// lockstep kinds (and any worker count) produce identical unit metrics.
+func TestBatchKindsBitIdentical(t *testing.T) {
+	base := cheapSpec(27)
+	single, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{KindBatch, KindLockstep} {
+		for _, workers := range []int{0, 1, 2} {
+			s := cheapSpec(27)
+			s.Kind = kind
+			s.Workers = workers
+			out, err := Run(s)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", kind, workers, err)
+			}
+			if got, want := SimMetrics(&out.Units[0]), SimMetrics(&single.Units[0]); got != want {
+				t.Errorf("%s workers=%d metrics differ:\n%+v\n%+v", kind, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestFleetGeneratedMatchesDirect pins the generated-rack runner to a
+// direct fleet.NewRack + fleet.Run with the same overrides.
+func TestFleetGeneratedMatchesDirect(t *testing.T) {
+	seed := stats.SubSeed(9, 4)
+	spec := Spec{
+		Kind:     KindFleet,
+		Name:     "rack",
+		Duration: 600,
+		Fleet: &FleetSpec{
+			Size:         4,
+			Layout:       []string{"cold", "hot"},
+			Seed:         seed,
+			AisleOffsets: &[3]units.Celsius{0, 3, 6},
+			Recirc:       0.01,
+		},
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := fleet.NewRack(4, []fleet.Aisle{fleet.Cold, fleet.Hot}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AisleOffsets = [fleet.NumAisles]units.Celsius{fleet.Cold: 0, fleet.Mid: 3, fleet.Hot: 6}
+	cfg.Recirc = 0.01
+	cfg.Duration = 600
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(out.Units) != len(res.Nodes) {
+		t.Fatalf("units = %d, want %d", len(out.Units), len(res.Nodes))
+	}
+	for i, n := range res.Nodes {
+		u := &out.Units[i]
+		if u.Name != n.Name {
+			t.Errorf("unit %d name %q != node %q", i, u.Name, n.Name)
+		}
+		if got := SimMetrics(u); got != n.Metrics {
+			t.Errorf("node %s metrics differ:\n%+v\n%+v", n.Name, got, n.Metrics)
+		}
+		if got := u.Metric(MetricInletC, -1); got != float64(n.Inlet) {
+			t.Errorf("node %s inlet %v != %v", n.Name, got, n.Inlet)
+		}
+		if u.Labels["aisle"] != n.Aisle.String() {
+			t.Errorf("node %s aisle %q != %q", n.Name, u.Labels["aisle"], n.Aisle)
+		}
+	}
+	if got := out.Aggregate[MetricPeakRackPowerW]; got != float64(res.PeakRackPower) {
+		t.Errorf("peak rack power %v != %v", got, res.PeakRackPower)
+	}
+	if got := out.Aggregate[MetricViolationFrac]; got != res.ViolationFrac {
+		t.Errorf("violation frac %v != %v", got, res.ViolationFrac)
+	}
+	if got := out.Aggregate[MetricPasses]; got != float64(res.Passes) {
+		t.Errorf("passes %v != %v", got, res.Passes)
+	}
+}
+
+// TestFleetGridMatchesFleetSweep pins the spec-per-cell grid (what the
+// fleetsweep subcommand builds) to fleet.Sweep: same sub-seed keying on
+// rack size, same spread-to-offsets mapping, bit-identical rack metrics.
+func TestFleetGridMatchesFleetSweep(t *testing.T) {
+	sizes := []int{2, 3}
+	spreads := []float64{0, 4}
+	const seed, recirc, duration = 1, 0.01, 400.0
+
+	ref, err := fleet.Sweep(fleet.SweepConfig{
+		RackSizes: sizes,
+		Spreads:   []units.Celsius{0, 4},
+		Seed:      seed,
+		Recirc:    recirc,
+		Duration:  duration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var specs []Spec
+	for _, size := range sizes {
+		for _, spread := range spreads {
+			specs = append(specs, Spec{
+				Kind:     KindFleet,
+				Duration: duration,
+				Fleet: &FleetSpec{
+					Size:         size,
+					Seed:         stats.SubSeed(seed, int64(size)),
+					AisleOffsets: &[3]units.Celsius{0, units.Celsius(spread / 2), units.Celsius(spread)},
+					Recirc:       recirc,
+				},
+			})
+		}
+	}
+	res, err := Sweep(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(ref) {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), len(ref))
+	}
+	for i, cell := range res.Cells {
+		want := ref[i].Result
+		agg := cell.Outcome.Aggregate
+		if agg[MetricViolationFrac] != want.ViolationFrac ||
+			agg[MetricFanEnergyJ] != float64(want.FanEnergy) ||
+			agg[MetricFanEnergyShare] != want.FanEnergyShare ||
+			agg[MetricPeakRackPowerW] != float64(want.PeakRackPower) ||
+			agg[MetricMaxJunctionC] != float64(want.MaxJunction) {
+			t.Errorf("cell %d (size %d, spread %g) aggregates differ from fleet.Sweep",
+				i, ref[i].RackSize, float64(ref[i].Spread))
+		}
+	}
+}
+
+// TestFleetGeneratedHonorsBase: a declared Base platform must shape a
+// generated rack's nodes (it is part of the identity hash, so ignoring
+// it would let one store cell masquerade as another).
+func TestFleetGeneratedHonorsBase(t *testing.T) {
+	base := sim.Default()
+	base.FanMaxSpeed = 6000 // visibly different actuator ceiling
+	spec := Spec{
+		Kind:     KindFleet,
+		Base:     &base,
+		Duration: 600,
+		Fleet:    &FleetSpec{Size: 2, Seed: 3},
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := fleet.NewRack(2, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].Config = base
+	}
+	cfg.Duration = 600
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.Nodes {
+		if got := SimMetrics(&out.Units[i]); got != n.Metrics {
+			t.Errorf("node %s metrics ignore Base:\n%+v\n%+v", n.Name, got, n.Metrics)
+		}
+	}
+
+	// And the default-Base run must genuinely differ (the knob bites).
+	def := spec
+	def.Base = nil
+	outDef, err := Run(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range out.Units {
+		if SimMetrics(&out.Units[i]) != SimMetrics(&outDef.Units[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("6000 rpm fan ceiling produced identical metrics to the default platform")
+	}
+}
+
+// TestMulticoreMatchesDirect pins the multicore runner to a direct
+// multicore.Run.
+func TestMulticoreMatchesDirect(t *testing.T) {
+	spec := Spec{
+		Kind:     KindMulticore,
+		Duration: 600,
+		Multicore: &MulticoreSpec{
+			Workload:   FactoryRef{Name: "noisy-square", Seed: 7, Params: Params{"period": 600, "sigma": 0.04}},
+			Skewed:     true,
+			Coordinate: true,
+		},
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &out.Units[0]
+	if u.Metric(MetricTicks, 0) != 600 {
+		t.Errorf("ticks = %v, want 600", u.Metric(MetricTicks, 0))
+	}
+	if u.Metric(MetricFanEnergyJ, 0) <= 0 {
+		t.Errorf("fan energy = %v, want > 0", u.Metric(MetricFanEnergyJ, 0))
+	}
+	// Rerun: deterministic.
+	out2, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range u.Metrics {
+		if out2.Units[0].Metrics[k] != v {
+			t.Errorf("metric %s drifted between identical runs", k)
+		}
+	}
+}
+
+// TestWorkloadSharing: identical (ref, platform) pairs alias one
+// generator instance; different refs do not.
+func TestWorkloadSharing(t *testing.T) {
+	cfg := sim.Default()
+	ref := FactoryRef{Name: "noisy-square", Seed: 1, Params: Params{"period": 300, "sigma": 0.04}}
+	cache := make(map[string]workload.Generator)
+	g1, err := sharedWorkload(cache, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sharedWorkload(cache, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("identical refs built distinct generators")
+	}
+	other := ref
+	other.Seed = 2
+	g3, err := sharedWorkload(cache, other, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Error("different seeds aliased one generator")
+	}
+}

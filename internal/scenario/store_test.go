@@ -1,0 +1,329 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// goldenSpec is the canonical fixture for hash-stability tests: every
+// spec field class populated with fixed values.
+func goldenSpec() Spec {
+	cfg := sim.Default()
+	cfg.Ambient = 30
+	return Spec{
+		Kind:     KindLockstep,
+		Name:     "golden",
+		Base:     &cfg,
+		Duration: 1200,
+		Jobs: []JobSpec{
+			{
+				Name:      "a",
+				Workload:  FactoryRef{Name: "noisy-square", Seed: 42, Params: Params{"period": 600, "sigma": 0.04}},
+				Policy:    FactoryRef{Name: "full"},
+				WarmStart: &sim.WarmPoint{Util: 0.1, Fan: 1200},
+			},
+			{
+				Name:     "b",
+				Workload: FactoryRef{Name: "noisy-square", Seed: 42, Params: Params{"period": 600, "sigma": 0.04}},
+				Policy:   FactoryRef{Name: "rcoord", Params: Params{"ref_temp": 75}},
+				Faults:   &FaultSpec{StuckAt: 100, StuckLen: 60, DropoutRate: 0.1, DropoutSeed: 5},
+			},
+		},
+	}
+}
+
+// TestKeyGolden pins the content addresses of canonical specs. These
+// values are the store's on-disk contract: a change here invalidates
+// every existing store, so it must be a deliberate, versioned decision —
+// not a side effect of a refactor.
+func TestKeyGolden(t *testing.T) {
+	golden := map[string]func() Spec{
+		"236c43152a15f928a8611490bbc719188d7af8cea7c79631a5ab5c77077d8fb3": goldenSpec,
+		"675e5826c6f5390dc3cde13daaf557c0ca1142579ec887bc5b77ce41c8aaa014": func() Spec { return cheapSpec(25) },
+		"e4e8797e94a085f1f5d8329b2f15a7836f3a2fd5ac5ee9f8ba5679c9eb2702c2": func() Spec {
+			return Spec{
+				Kind:     KindFleet,
+				Name:     "rack",
+				Duration: 600,
+				Fleet: &FleetSpec{
+					Size:   4,
+					Layout: []string{"cold", "mid", "hot"},
+					Seed:   1,
+					Recirc: 0.01,
+				},
+			}
+		},
+	}
+	for want, build := range golden {
+		got, err := Key(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			canon, _ := CanonicalJSON(build())
+			t.Errorf("golden key drifted:\n got %s\nwant %s\ncanonical: %s", got, want, canon)
+		}
+	}
+}
+
+// TestKeyMapOrderInvariant: the hash must not depend on how parameter
+// maps were populated (Go randomizes map iteration; the canonical JSON
+// sorts keys).
+func TestKeyMapOrderInvariant(t *testing.T) {
+	mk := func(order []string) Spec {
+		s := cheapSpec(25)
+		p := make(Params)
+		vals := map[string]float64{"period": 600, "sigma": 0.04, "spike_len": 30, "duration": 7200}
+		for _, k := range order {
+			p[k] = vals[k]
+		}
+		s.Jobs[0].Workload = FactoryRef{Name: "table3", Seed: 42, Params: p}
+		return s
+	}
+	a, err := Key(mk([]string{"period", "sigma", "spike_len", "duration"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := Key(mk([]string{"duration", "spike_len", "sigma", "period"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("key depends on map population order: %s != %s", a, b)
+		}
+	}
+}
+
+// TestKeyChangesOnSemanticEdits: every semantic field must move the
+// hash; the Workers execution knob must not.
+func TestKeyChangesOnSemanticEdits(t *testing.T) {
+	base, err := Key(goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := map[string]func(*Spec){
+		"kind":             func(s *Spec) { s.Kind = KindBatch },
+		"name":             func(s *Spec) { s.Name = "other" },
+		"duration":         func(s *Spec) { s.Duration = 1201 },
+		"record":           func(s *Spec) { s.Record = true },
+		"record_power":     func(s *Spec) { s.RecordPower = true },
+		"base ambient":     func(s *Spec) { s.Base.Ambient = 31 },
+		"base tick":        func(s *Spec) { s.Base.Tick = 2 },
+		"job name":         func(s *Spec) { s.Jobs[0].Name = "z" },
+		"workload name":    func(s *Spec) { s.Jobs[0].Workload.Name = "square" },
+		"workload seed":    func(s *Spec) { s.Jobs[0].Workload.Seed = 43 },
+		"workload param":   func(s *Spec) { s.Jobs[0].Workload.Params["sigma"] = 0.05 },
+		"policy name":      func(s *Spec) { s.Jobs[0].Policy.Name = "none" },
+		"policy param":     func(s *Spec) { s.Jobs[1].Policy.Params["ref_temp"] = 76 },
+		"warm start":       func(s *Spec) { s.Jobs[0].WarmStart.Fan = 1300 },
+		"drop warm start":  func(s *Spec) { s.Jobs[0].WarmStart = nil },
+		"fault window":     func(s *Spec) { s.Jobs[1].Faults.StuckLen = 61 },
+		"fault rate":       func(s *Spec) { s.Jobs[1].Faults.DropoutRate = 0.2 },
+		"job order":        func(s *Spec) { s.Jobs[0], s.Jobs[1] = s.Jobs[1], s.Jobs[0] },
+		"extra job":        func(s *Spec) { s.Jobs = append(s.Jobs, s.Jobs[0]) },
+		"job config":       func(s *Spec) { c := sim.Default(); s.Jobs[0].Config = &c },
+	}
+	for name, edit := range edits {
+		s := goldenSpec()
+		edit(&s)
+		k, err := Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Errorf("edit %q did not change the key", name)
+		}
+	}
+	// Workers is an execution knob: any value, same identity.
+	for _, workers := range []int{0, 1, 7} {
+		s := goldenSpec()
+		s.Workers = workers
+		k, err := Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != base {
+			t.Errorf("Workers=%d changed the key", workers)
+		}
+	}
+}
+
+// TestStoreRoundTrip: a stored outcome reads back bit-identical,
+// including recorded series (float64 survives the JSON round trip).
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cheapSpec(26)
+	spec.Record = true
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get(spec); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := st.Put(spec, out); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := st.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	a, _ := json.Marshal(out)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Error("outcome changed across the store round trip")
+	}
+	if got := SimMetrics(&back.Units[0]); got != SimMetrics(&out.Units[0]) {
+		t.Error("metrics changed across the store round trip")
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d (%v), want 1", n, err)
+	}
+}
+
+// TestStoreVersionMismatchIsMiss: a cell written by a different format
+// version reads as a miss, not an error.
+func TestStoreVersionMismatchIsMiss(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cheapSpec(26)
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(spec, out); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(spec)
+	path := filepath.Join(st.Dir(), key+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry storeEntry
+	if err := json.Unmarshal(b, &entry); err != nil {
+		t.Fatal(err)
+	}
+	entry.Version = storeVersion + 1
+	b, _ = json.Marshal(entry)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(spec); err != nil || ok {
+		t.Errorf("future-version cell: ok=%v err=%v, want miss without error", ok, err)
+	}
+}
+
+// TestSweepResume is the store's reason to exist: a sweep killed halfway
+// loses nothing — the rerun computes only the missing cells, and a fully
+// warm sweep performs zero simulation ticks.
+func TestSweepResume(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{cheapSpec(24), cheapSpec(26), cheapSpec(28), cheapSpec(30)}
+
+	// Reference outcomes, computed without any store.
+	var want []*Outcome
+	for _, s := range specs {
+		out, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, out)
+	}
+
+	// "Kill the sweep halfway": only the first half runs.
+	half, err := Sweep(specs[:2], st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Hits != 0 || half.Misses != 2 {
+		t.Fatalf("first half: %d hits / %d misses, want 0/2", half.Hits, half.Misses)
+	}
+
+	// The rerun over the full grid recomputes only the missing cells.
+	runsBefore := ProbeRuns()
+	full, err := Sweep(specs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Hits != 2 || full.Misses != 2 {
+		t.Fatalf("resume: %d hits / %d misses, want 2/2", full.Hits, full.Misses)
+	}
+	if executed := ProbeRuns() - runsBefore; executed != 2 {
+		t.Errorf("resume executed %d runs, want 2", executed)
+	}
+	for i, cell := range full.Cells {
+		a, _ := json.Marshal(cell.Outcome)
+		b, _ := json.Marshal(want[i])
+		if string(a) != string(b) {
+			t.Errorf("cell %d outcome differs from a storeless run", i)
+		}
+		if wantCached := i < 2; cell.Cached != wantCached {
+			t.Errorf("cell %d cached=%v, want %v", i, cell.Cached, wantCached)
+		}
+	}
+
+	// Fully warm: all hits, zero simulation ticks (the acceptance bar).
+	ticksBefore, runsBefore := ProbeSimTicks(), ProbeRuns()
+	warm, err := Sweep(specs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != len(specs) || warm.Misses != 0 {
+		t.Fatalf("warm: %d hits / %d misses, want %d/0", warm.Hits, warm.Misses, len(specs))
+	}
+	if d := ProbeSimTicks() - ticksBefore; d != 0 {
+		t.Errorf("warm sweep simulated %d ticks, want 0", d)
+	}
+	if d := ProbeRuns() - runsBefore; d != 0 {
+		t.Errorf("warm sweep executed %d runs, want 0", d)
+	}
+	for i, cell := range warm.Cells {
+		a, _ := json.Marshal(cell.Outcome)
+		b, _ := json.Marshal(want[i])
+		if string(a) != string(b) {
+			t.Errorf("warm cell %d outcome differs", i)
+		}
+	}
+}
+
+// TestSweepWithoutStore still runs every cell.
+func TestSweepWithoutStore(t *testing.T) {
+	res, err := Sweep([]Spec{cheapSpec(24), cheapSpec(25)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 || res.Misses != 2 || len(res.Cells) != 2 {
+		t.Errorf("storeless sweep: %+v", res)
+	}
+}
+
+// TestProbeTicksCountSimulation: running a scenario moves the tick probe
+// by exactly the simulated tick count.
+func TestProbeTicksCountSimulation(t *testing.T) {
+	spec := cheapSpec(25)
+	before := ProbeSimTicks()
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if d := ProbeSimTicks() - before; d != int64(float64(spec.Duration)/float64(units.Seconds(1))) {
+		t.Errorf("probe moved %d ticks, want %v", d, spec.Duration)
+	}
+}
