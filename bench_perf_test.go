@@ -469,6 +469,38 @@ func BenchmarkFleetFixedPoint(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetCoordinator measures the rack-level global coordinator
+// end to end on the canonical 8-node rack: the local baseline relaxation
+// plus the coordination rounds (migration planning, budget arbitration,
+// warm re-relaxations) — the price of the coordinated column next to
+// BenchmarkFleetFixedPoint's per-node-control price.
+func BenchmarkFleetCoordinator(b *testing.B) {
+	cfg, err := fleet.NewRack(8, nil, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Duration = 900
+	cfg.Recirc = 0.03
+	cfg.Workers = 1
+	cc := fleet.CoordinatorConfig{PowerBudget: 1100}
+	res, err := fleet.RunCoordinated(cfg, cc) // warm-up + pass count probe
+	if err != nil {
+		b.Fatal(err)
+	}
+	passes := res.TotalPasses
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.RunCoordinated(cfg, cc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		ticksPerOp := 900 * 8 * float64(passes)
+		b.ReportMetric(ticksPerOp*float64(b.N)/sec, "ticks/s")
+	}
+}
+
 // BenchmarkFleetRun measures a recirculation-coupled 8-node rack (two
 // whole-rack passes) end to end; compare Workers=1 vs Workers=0 for the
 // fleet-level batch speedup on multicore hosts (results bit-identical).

@@ -38,6 +38,10 @@ type command struct {
 	summary string
 	flags   *flag.FlagSet
 	run     func() error
+	// runArgs, when set instead of run, receives the positional words
+	// left after flag parsing (the store subcommand's action verb);
+	// commands without it reject stray arguments.
+	runArgs func(args []string) error
 }
 
 // commands is populated in main (fixed order for the usage listing).
@@ -51,6 +55,13 @@ func newCommand(name, summary string, setup func(*flag.FlagSet), run func() erro
 	}
 	c := &command{name: name, summary: summary, flags: fs, run: run}
 	commands = append(commands, c)
+	return c
+}
+
+// newCommandArgs registers a subcommand that consumes positional words.
+func newCommandArgs(name, summary string, setup func(*flag.FlagSet), run func(args []string) error) *command {
+	c := newCommand(name, summary, setup, nil)
+	c.runArgs = run
 	return c
 }
 
@@ -106,6 +117,16 @@ func main() {
 		storeDir      string
 		sweepSizes    string
 		sweepSpreads  string
+		sweepCompare  bool
+
+		coordBudget   float64
+		coordGain     float64
+		coordRounds   int
+		coordMaxShare float64
+		coordMinShare float64
+		coordPeak     float64
+		coordFanTrim  float64
+		coordCapFloor float64
 
 		scAmbients string
 		scSeeds    int
@@ -122,6 +143,36 @@ func main() {
 		fs.IntVar(&fleetWorkers, "workers", 0, "batch worker cap (0 = all cores; results identical)")
 		fs.Float64Var(&fleetRecirc, "recirc", 0.01, "inlet rise per watt of upstream mean power (K/W)")
 		fs.Float64Var(&fleetDuration, "duration", 3600, "per-node horizon in seconds")
+	}
+	coordFlags := func(fs *flag.FlagSet) {
+		fs.Float64Var(&coordBudget, "budget", 0, "global rack power budget in W (0 = cap arbitration off)")
+		fs.Float64Var(&coordGain, "gain", 0, "migration gain per round (0 = default 0.5)")
+		fs.IntVar(&coordRounds, "rounds", 0, "coordination rounds (0 = default 2)")
+		fs.Float64Var(&coordMaxShare, "maxshare", 0, "per-node demand share ceiling (0 = default 1.25)")
+		fs.Float64Var(&coordMinShare, "minshare", 0, "per-node demand share floor (0 = default 0.5)")
+		fs.Float64Var(&coordPeak, "peaktarget", 0, "scaled-peak demand bound for receivers (0 = default 0.9)")
+		fs.Float64Var(&coordFanTrim, "fantrim", 0, "fan ceiling margin for savings-class nodes (0 = off)")
+		fs.Float64Var(&coordCapFloor, "capfloor", 0, "arbitration cap floor (0 = default 0.5)")
+	}
+	coordParams := func() scenario.Params {
+		p := scenario.Params{}
+		set := func(k string, v float64) {
+			if v != 0 {
+				p[k] = v
+			}
+		}
+		set("power_budget_w", coordBudget)
+		set("migration_gain", coordGain)
+		set("rounds", float64(coordRounds))
+		set("max_share", coordMaxShare)
+		set("min_share", coordMinShare)
+		set("peak_target", coordPeak)
+		set("fan_trim", coordFanTrim)
+		set("cap_floor", coordCapFloor)
+		if len(p) == 0 {
+			return nil
+		}
+		return p
 	}
 
 	newCommand("fig1", "telemetry lag of the I2C power-sensor path", csvFlag,
@@ -161,13 +212,23 @@ func main() {
 	}, func() error {
 		return fleetRack(fleetNodes, fleetSpread, fleetLayout, fleetSeed, fleetRecirc, fleetDuration, fleetWorkers)
 	})
+	newCommand("fleetcoord", "rack under the global coordinator vs per-node control", func(fs *flag.FlagSet) {
+		fs.IntVar(&fleetNodes, "nodes", 6, "rack size")
+		fs.Float64Var(&fleetSpread, "spread", 8, "hot-aisle inlet offset over supply (mid = half)")
+		fleetFlags(fs)
+		coordFlags(fs)
+	}, func() error {
+		return fleetCoord(fleetNodes, fleetSpread, fleetLayout, fleetSeed, fleetRecirc, fleetDuration, fleetWorkers, coordParams())
+	})
 	newCommand("fleetsweep", "rack size x inlet spread grid (resumable with -store)", func(fs *flag.FlagSet) {
 		fs.StringVar(&sweepSizes, "sizes", "2,4,8", "rack sizes")
 		fs.StringVar(&sweepSpreads, "spreads", "0,4,8", "hot-aisle inlet spreads (degC)")
 		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (optional)")
+		fs.BoolVar(&sweepCompare, "compare", false, "run every point under the global coordinator and print coordinated vs local columns")
 		fleetFlags(fs)
+		coordFlags(fs)
 	}, func() error {
-		return fleetSweep(sweepSizes, sweepSpreads, fleetLayout, fleetSeed, fleetRecirc, fleetDuration, fleetWorkers, storeDir)
+		return fleetSweep(sweepSizes, sweepSpreads, fleetLayout, fleetSeed, fleetRecirc, fleetDuration, fleetWorkers, storeDir, sweepCompare, coordParams())
 	})
 	newCommand("sweep", "Table III scenario grid over ambient x seed (resumable with -store)", func(fs *flag.FlagSet) {
 		fs.StringVar(&scAmbients, "ambients", "30,33", "inlet temperatures (degC)")
@@ -178,14 +239,54 @@ func main() {
 	}, func() error {
 		return scenarioSweep(scAmbients, scSeeds, scSeed0, scDuration, storeDir)
 	})
+	var storeCmd *command
+	storeCmd = newCommandArgs("store", "inspect a result store (action: ls)", func(fs *flag.FlagSet) {
+		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (required)")
+	}, func(args []string) error {
+		// The action verb may sit before or after the flags ("store ls
+		// -store DIR" and "store -store DIR ls" both work): flags before
+		// the verb were consumed by the main parse; whatever follows it
+		// is re-parsed here.
+		action := ""
+		if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+			action = args[0]
+			if err := storeCmd.flags.Parse(args[1:]); err != nil {
+				return err
+			}
+			if stray := storeCmd.flags.Args(); len(stray) > 0 {
+				return fmt.Errorf("store: stray argument %q", stray[0])
+			}
+		} else if len(args) > 0 {
+			return fmt.Errorf("store: stray argument %q", args[0])
+		}
+		switch action {
+		case "ls":
+			return storeLs(storeDir)
+		case "":
+			return fmt.Errorf("store: missing action (want: ls)")
+		default:
+			return fmt.Errorf("store: unknown action %q (want: ls)", action)
+		}
+	})
 
 	// The subcommand word may sit before, between or after flags
 	// ("experiments -csv dir fig4" worked historically): scan the args
 	// for the first bare word that is not a flag's value, hand
 	// everything else to that command's flag set. Every flag of this
-	// tool takes a value, so a bare word immediately after a "-flag"
+	// tool takes a value — except the booleans, which are derived from
+	// the registered flag sets below so the scanner cannot drift from
+	// the implementation — so a bare word immediately after a "-flag"
 	// token (with no "=value") is that flag's value, never a
 	// subcommand. A help request anywhere wins first.
+	boolFlags := make(map[string]bool)
+	for _, c := range commands {
+		c.flags.VisitAll(func(f *flag.Flag) {
+			if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok && b.IsBoolFlag() {
+				boolFlags["-"+f.Name] = true
+				boolFlags["--"+f.Name] = true
+			}
+		})
+	}
 	args := os.Args[1:]
 	chosen := ""
 	rest := make([]string, 0, len(args))
@@ -209,13 +310,19 @@ func main() {
 		default:
 			rest = append(rest, a)
 		}
-		prevWantsValue = isFlag && !strings.Contains(a, "=")
+		prevWantsValue = isFlag && !strings.Contains(a, "=") && !boolFlags[a]
 	}
 
 	dispatch := func(name string) {
 		c := find(name)
 		if err := c.flags.Parse(rest); err != nil {
 			log.Fatal(err)
+		}
+		if c.runArgs != nil {
+			if err := c.runArgs(c.flags.Args()); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			return
 		}
 		if stray := c.flags.Args(); len(stray) > 0 {
 			log.Printf("stray argument %q (one subcommand per invocation)", stray[0])
@@ -491,6 +598,47 @@ func fleetRack(n int, spread float64, layoutStr string, seed int64, recirc, dura
 	return nil
 }
 
+// fleetCoord runs one rack under the global coordinator and prints the
+// coordinated-vs-local comparison.
+func fleetCoord(n int, spread float64, layoutStr string, seed int64, recirc, duration float64, workers int, params scenario.Params) error {
+	spec, err := fleetSpec(n, spread, layoutStr, seed, recirc, duration, workers)
+	if err != nil {
+		return err
+	}
+	spec.Kind = scenario.KindFleetCoord
+	spec.Name = "fleetcoord"
+	spec.Params = params
+	out, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	agg := out.Aggregate
+	fmt.Printf("Fleet coordinator — %d-node rack, %.0f s horizon (spread %.1f °C, recirc %.3f K/W, budget %.0f W, %d round(s), best round %d)\n\n",
+		len(out.Units), duration, spread, recirc,
+		agg[scenario.MetricCoordBudgetW], int(agg[scenario.MetricCoordRounds]), int(agg[scenario.MetricCoordBestRound]))
+	fmt.Printf("%-10s %6s %4s %9s %7s %12s %12s %10s %8s\n",
+		"node", "aisle", "slot", "inlet(°C)", "share", "violation(%)", "fanE(kJ)", "meanFan", "Tmax")
+	for i := range out.Units {
+		u := &out.Units[i]
+		fmt.Printf("%-10s %6s %4d %9.1f %7.3f %12.2f %12.2f %10.0f %8.1f\n",
+			u.Name, u.Labels["aisle"], int(u.Metric(scenario.MetricSlot, 0)),
+			u.Metric(scenario.MetricInletC, 0),
+			u.Metric(scenario.MetricShare, 1),
+			u.Metric(scenario.MetricViolationFrac, 0)*100,
+			u.Metric(scenario.MetricFanEnergyJ, 0)/1000,
+			u.Metric(scenario.MetricMeanFanRPM, 0),
+			u.Metric(scenario.MetricMaxJunctionC, 0))
+	}
+	localViol := agg[scenario.LocalMetricPrefix+scenario.MetricViolationFrac]
+	coordViol := agg[scenario.MetricViolationFrac]
+	fmt.Printf("\nrack summary: local %.2f%% violations / %.1f kJ fan -> coordinated %.2f%% violations / %.1f kJ fan (migrated share %.1f%%)\n",
+		localViol*100, agg[scenario.LocalMetricPrefix+scenario.MetricFanEnergyJ]/1000,
+		coordViol*100, agg[scenario.MetricFanEnergyJ]/1000,
+		agg[scenario.MetricCoordMigrated]*100)
+	fmt.Printf("verdict: coordinated beats-or-ties local violations: %v\n\n", coordViol <= localViol)
+	return nil
+}
+
 // openStore opens the optional result store.
 func openStore(dir string) (*scenario.Store, error) {
 	if dir == "" {
@@ -499,7 +647,35 @@ func openStore(dir string) (*scenario.Store, error) {
 	return scenario.OpenStore(dir)
 }
 
-func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, duration float64, workers int, storeDir string) error {
+// storeLs prints the store's cell inventory (the `store ls` action).
+func storeLs(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("store ls: -store directory required")
+	}
+	st, err := scenario.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	infos, err := st.List()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s: %d cell(s)\n\n", st.Dir(), len(infos))
+	fmt.Printf("%-64s %-12s %-28s %5s %3s %10s\n", "key", "kind", "name", "units", "v", "bytes")
+	var total int64
+	for _, info := range infos {
+		fmt.Printf("%-64s %-12s %-28s %5d %3d %10d\n",
+			info.Key, info.Kind, info.Name, info.Units, info.Version, info.Size)
+		total += info.Size
+	}
+	fmt.Printf("\ntotal: %d bytes\n", total)
+	return nil
+}
+
+func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, duration float64, workers int, storeDir string, compare bool, params scenario.Params) error {
+	if !compare && params != nil {
+		return fmt.Errorf("coordinator flags only apply with -compare (add -compare, or drop the coordinator flags)")
+	}
 	var sizes []int
 	for _, part := range strings.Split(sizesStr, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -520,6 +696,8 @@ func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, dura
 	// One scenario per grid point, row-major (sizes outer, spreads
 	// inner), mirroring fleet.Sweep: the sub-seed is keyed on the rack
 	// size itself so a size reruns the same workloads at every spread.
+	// With -compare every point runs as a fleetcoord cell, which carries
+	// the local baseline alongside the coordinated result.
 	var specs []scenario.Spec
 	for _, size := range sizes {
 		for _, spread := range spreads {
@@ -528,6 +706,11 @@ func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, dura
 				return err
 			}
 			spec.Name = fmt.Sprintf("fleetsweep/size=%d/spread=%g", size, spread)
+			if compare {
+				spec.Kind = scenario.KindFleetCoord
+				spec.Name = fmt.Sprintf("fleetcoordsweep/size=%d/spread=%g", size, spread)
+				spec.Params = params
+			}
 			specs = append(specs, spec)
 		}
 	}
@@ -536,10 +719,17 @@ func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, dura
 		return err
 	}
 
-	fmt.Printf("Fleet sweep — rack size × hot-aisle inlet spread (%.0f s horizon, recirc %.3f K/W)\n\n",
-		duration, recirc)
-	fmt.Printf("%6s %10s %12s %12s %12s %10s %8s %6s\n",
-		"nodes", "spread(°C)", "violation(%)", "fanE(kJ)", "fanShare(%)", "peakP(W)", "Tmax", "cache")
+	if compare {
+		fmt.Printf("Fleet sweep — coordinated vs per-node control over rack size × inlet spread (%.0f s horizon, recirc %.3f K/W)\n\n",
+			duration, recirc)
+		fmt.Printf("%6s %10s %13s %13s %12s %12s %8s %6s\n",
+			"nodes", "spread(°C)", "localViol(%)", "coordViol(%)", "localFan(kJ)", "coordFan(kJ)", "migr(%)", "cache")
+	} else {
+		fmt.Printf("Fleet sweep — rack size × hot-aisle inlet spread (%.0f s horizon, recirc %.3f K/W)\n\n",
+			duration, recirc)
+		fmt.Printf("%6s %10s %12s %12s %12s %10s %8s %6s\n",
+			"nodes", "spread(°C)", "violation(%)", "fanE(kJ)", "fanShare(%)", "peakP(W)", "Tmax", "cache")
+	}
 	i := 0
 	for _, size := range sizes {
 		for _, spread := range spreads {
@@ -549,14 +739,25 @@ func fleetSweep(sizesStr, spreadsStr, layoutStr string, seed int64, recirc, dura
 			if cell.Cached {
 				cached = "hit"
 			}
-			fmt.Printf("%6d %10.1f %12.2f %12.2f %12.2f %10.0f %8.1f %6s\n",
-				size, spread,
-				agg[scenario.MetricViolationFrac]*100,
-				agg[scenario.MetricFanEnergyJ]/1000,
-				agg[scenario.MetricFanEnergyShare]*100,
-				agg[scenario.MetricPeakRackPowerW],
-				agg[scenario.MetricMaxJunctionC],
-				cached)
+			if compare {
+				fmt.Printf("%6d %10.1f %13.2f %13.2f %12.2f %12.2f %8.1f %6s\n",
+					size, spread,
+					agg[scenario.LocalMetricPrefix+scenario.MetricViolationFrac]*100,
+					agg[scenario.MetricViolationFrac]*100,
+					agg[scenario.LocalMetricPrefix+scenario.MetricFanEnergyJ]/1000,
+					agg[scenario.MetricFanEnergyJ]/1000,
+					agg[scenario.MetricCoordMigrated]*100,
+					cached)
+			} else {
+				fmt.Printf("%6d %10.1f %12.2f %12.2f %12.2f %10.0f %8.1f %6s\n",
+					size, spread,
+					agg[scenario.MetricViolationFrac]*100,
+					agg[scenario.MetricFanEnergyJ]/1000,
+					agg[scenario.MetricFanEnergyShare]*100,
+					agg[scenario.MetricPeakRackPowerW],
+					agg[scenario.MetricMaxJunctionC],
+					cached)
+			}
 			i++
 		}
 	}

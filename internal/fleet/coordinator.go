@@ -1,0 +1,528 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/coord"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// This file is the rack-level global coordinator: where Run leaves every
+// node's DTM to optimize its own server, RunCoordinated layers a
+// rack-scope control loop over the warm-lockstep fixed point. Between
+// whole relaxations it (a) arbitrates per-node cap/fan intents against a
+// global rack power budget with the Table II-style multi-node selector
+// (coord.ArbitrateRack — the same performance-biased matrix, extended
+// across nodes instead of duplicated), and (b) performs thermal-aware
+// load placement: divisible workload share migrates from nodes breathing
+// hot air (downstream in the recirculation graph, high resolved inlet)
+// toward cool nodes with headroom, in the spirit of Van Damme, De Persis
+// & Tesi's thermal-aware job scheduling. Each round re-enters the warm
+// instance — no servers are rebuilt, no schedules recompiled — and the
+// final answer is the best round under a safety-first objective, so
+// coordination can only beat or tie local control.
+
+// CoordinatorConfig holds the rack coordinator's policy knobs. The zero
+// value of every field selects the documented default.
+type CoordinatorConfig struct {
+	// PowerBudget is the global rack power budget (W) the cap arbitration
+	// splits across nodes. Zero disables cap arbitration (placement
+	// only). A budget below the sum of the node floors is clamped up to
+	// it — local thermal/performance constraints outrank the budget — and
+	// the resolved value is reported in CoordResult.Budget.
+	PowerBudget units.Watt
+	// MigrationGain is the fraction of a node's share the placement step
+	// may move per round at the extreme of the inlet spread (0..1].
+	// Default 0.5.
+	MigrationGain float64
+	// MaxShare / MinShare bound every node's demand share (1 = the
+	// node's own workload, unmigrated). Defaults 1.25 / 0.5.
+	MaxShare float64
+	MinShare float64
+	// PeakTarget bounds what a receiver may be scaled to at its demand
+	// peak: node i's share never exceeds PeakTarget / peakDemand_i, so
+	// migration cannot push a node's scaled spikes past the point where
+	// any transient cap becomes a violation. Default 0.9.
+	PeakTarget float64
+	// Rounds is how many coordination rounds run after the local
+	// baseline. Default 2. The loop stops early when a round's plan
+	// stops moving.
+	Rounds int
+	// CapFloor is the utilization floor the arbitration guarantees every
+	// node (the local DTM's own MinCap). Default 0.5.
+	CapFloor units.Utilization
+	// FanTrim, when positive, caps the fan command of nodes the selector
+	// marks for fan-down savings at meanFan*(1+FanTrim). Default 0
+	// (disabled): trimming trades thermal headroom for energy, and the
+	// best-round objective already discards rounds that lose the trade.
+	FanTrim float64
+}
+
+func (cc *CoordinatorConfig) setDefaults() {
+	if cc.MigrationGain == 0 {
+		cc.MigrationGain = 0.5
+	}
+	if cc.MaxShare == 0 {
+		cc.MaxShare = 1.25
+	}
+	if cc.MinShare == 0 {
+		cc.MinShare = 0.5
+	}
+	if cc.PeakTarget == 0 {
+		cc.PeakTarget = 0.9
+	}
+	if cc.Rounds == 0 {
+		cc.Rounds = 2
+	}
+	if cc.CapFloor == 0 {
+		cc.CapFloor = 0.5
+	}
+}
+
+// validate rejects degenerate coordinator knobs.
+func (cc CoordinatorConfig) validate() error {
+	if cc.PowerBudget < 0 || !units.IsFinite(float64(cc.PowerBudget)) {
+		return fmt.Errorf("fleet: bad coordinator power budget %v", cc.PowerBudget)
+	}
+	if cc.MigrationGain < 0 || cc.MigrationGain > 1 || !units.IsFinite(cc.MigrationGain) {
+		return fmt.Errorf("fleet: migration gain %v outside [0, 1]", cc.MigrationGain)
+	}
+	if cc.MinShare < 0 || cc.MinShare > 1 || !units.IsFinite(cc.MinShare) {
+		return fmt.Errorf("fleet: min share %v outside [0, 1]", cc.MinShare)
+	}
+	if cc.MaxShare < 1 || !units.IsFinite(cc.MaxShare) {
+		return fmt.Errorf("fleet: max share %v below 1", cc.MaxShare)
+	}
+	if cc.PeakTarget <= 0 || cc.PeakTarget > 1 || !units.IsFinite(cc.PeakTarget) {
+		return fmt.Errorf("fleet: peak target %v outside (0, 1]", cc.PeakTarget)
+	}
+	if cc.Rounds < 0 {
+		return fmt.Errorf("fleet: negative coordinator rounds %d", cc.Rounds)
+	}
+	if cc.CapFloor <= 0 || cc.CapFloor > 1 {
+		return fmt.Errorf("fleet: cap floor %v outside (0, 1]", cc.CapFloor)
+	}
+	if cc.FanTrim < 0 || !units.IsFinite(cc.FanTrim) {
+		return fmt.Errorf("fleet: negative fan trim %v", cc.FanTrim)
+	}
+	return nil
+}
+
+// CoordResult is the outcome of a coordinated rack run: the local
+// (per-node control only) baseline, the coordinated result, and the plan
+// that produced it.
+type CoordResult struct {
+	// Local is the round-0 baseline — exactly Run's result for the same
+	// Config (trace capture aside; see RunCoordinated).
+	Local *Result
+	// Coordinated is the best round's result. When no round improved on
+	// local control it is the local result itself (BestRound 0).
+	Coordinated *Result
+	// Rounds is how many coordination rounds actually executed.
+	Rounds int
+	// BestRound is the round the Coordinated result came from; 0 means
+	// local control won.
+	BestRound int
+	// Budget is the resolved global power budget (0 when cap arbitration
+	// is off): max(CoordinatorConfig.PowerBudget, sum of node floors).
+	Budget units.Watt
+	// Shares is the best round's per-node demand share (1 = unmigrated).
+	Shares []float64
+	// CapCeils is the best round's arbitrated per-node cap ceiling
+	// (1 = unconstrained); nil when cap arbitration is off.
+	CapCeils []units.Utilization
+	// FanCeils is the best round's per-node fan command ceiling
+	// (0 = unconstrained); nil when fan trimming is off.
+	FanCeils []units.RPM
+	// MigratedShare is the demand-weighted fraction of the rack's load
+	// the best plan moved off its home nodes.
+	MigratedShare float64
+	// TotalPasses counts every whole-rack simulation pass executed
+	// (baseline + all rounds + the recording re-run, if any).
+	TotalPasses int
+}
+
+// limitedPolicy clamps a node DTM's commands to the coordinator's grants:
+// the cap never rises above the arbitrated ceiling and the fan command
+// never above the trim ceiling. Everything else — timing, set-points,
+// boosts — stays the inner policy's business.
+type limitedPolicy struct {
+	inner   sim.Policy
+	capCeil units.Utilization // <= 0 disables
+	fanCeil units.RPM         // <= 0 disables
+}
+
+// Name implements sim.Policy.
+func (p *limitedPolicy) Name() string { return p.inner.Name() + "+rack" }
+
+// Step implements sim.Policy.
+func (p *limitedPolicy) Step(obs sim.Observation) sim.Command {
+	cmd := p.inner.Step(obs)
+	if p.capCeil > 0 && cmd.Cap > p.capCeil {
+		cmd.Cap = p.capCeil
+	}
+	if p.fanCeil > 0 && cmd.Fan > p.fanCeil {
+		cmd.Fan = p.fanCeil
+	}
+	return cmd
+}
+
+// Reset implements sim.Policy.
+func (p *limitedPolicy) Reset() { p.inner.Reset() }
+
+// coordPlan is one round's actuation: per-node demand shares plus the
+// arbitration's per-node ceilings.
+type coordPlan struct {
+	shares   []float64
+	capCeils []units.Utilization // nil: no cap arbitration
+	fanCeils []units.RPM         // nil: no fan trimming
+}
+
+// identityPlan is the do-nothing plan (round 0: pure local control).
+func identityPlan(n int) coordPlan {
+	shares := make([]float64, n)
+	for i := range shares {
+		shares[i] = 1
+	}
+	return coordPlan{shares: shares}
+}
+
+// apply installs the plan on the warm rack instance: lane demand scales
+// plus the policy wrap carrying the ceilings.
+func (r *rack) apply(p coordPlan) error {
+	for i := range r.cfg.Nodes {
+		if err := r.ls.SetDemandScale(i, p.shares[i]); err != nil {
+			return err
+		}
+	}
+	if p.capCeils == nil && p.fanCeils == nil {
+		r.wrap = nil
+		return nil
+	}
+	r.wrap = func(i int, pol sim.Policy) sim.Policy {
+		var capCeil units.Utilization
+		var fanCeil units.RPM
+		if p.capCeils != nil {
+			capCeil = p.capCeils[i]
+			if capCeil >= 1 {
+				capCeil = 0 // unconstrained
+			}
+		}
+		if p.fanCeils != nil {
+			fanCeil = p.fanCeils[i]
+		}
+		if capCeil <= 0 && fanCeil <= 0 {
+			return pol
+		}
+		return &limitedPolicy{inner: pol, capCeil: capCeil, fanCeil: fanCeil}
+	}
+	return nil
+}
+
+// betterResult is the coordinator's objective: fewer deadline violations
+// (the paper's headline performance metric), then less fan energy (its
+// headline cost), then fewer node-seconds above the comfort limit — a
+// band the per-node DTMs already regulate, and one every rack spends
+// hundreds of node-seconds in under plain local control. Strict
+// improvement is required — on a full tie the earlier round (ultimately
+// local control) keeps the title.
+func betterResult(a, b *Result) bool {
+	if a.ViolationFrac != b.ViolationFrac {
+		return a.ViolationFrac < b.ViolationFrac
+	}
+	if a.FanEnergy != b.FanEnergy {
+		return a.FanEnergy < b.FanEnergy
+	}
+	return a.TimeAboveLimit < b.TimeAboveLimit
+}
+
+// migrate computes the next round's demand shares from the previous
+// round's resolved inlet field: nodes hotter than the rack mean shed
+// share in proportion to how far above it they sit, and the shed total is
+// redistributed to cooler nodes in proportion to their remaining
+// headroom. The rack's total mean demand is conserved exactly (donor
+// share leaves in the same demand-weighted units receivers absorb), and
+// node i's share stays inside [MinShare, maxShare[i]] — the per-node
+// ceiling already folds the peak-demand headroom into MaxShare.
+func migrate(cc CoordinatorConfig, inlets []units.Celsius, meanDemand, maxShare, shares []float64) []float64 {
+	n := len(shares)
+	next := make([]float64, n)
+	copy(next, shares)
+	if cc.MigrationGain <= 0 || n < 2 {
+		return next
+	}
+	mean, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+	for _, t := range inlets {
+		v := float64(t)
+		mean += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	mean /= float64(n)
+	spread := hi - lo
+	if spread <= 1e-9 {
+		return next // a flat inlet field has nothing to exploit
+	}
+
+	// Donors: shed share proportional to inlet excess, floored at
+	// MinShare. Shed is accounted in demand units (share × the node's
+	// unscaled mean demand) so conservation is demand-weighted.
+	shed := make([]float64, n)
+	total := 0.0
+	for i := range next {
+		excess := float64(inlets[i]) - mean
+		if excess <= 0 || meanDemand[i] <= 0 {
+			continue
+		}
+		d := cc.MigrationGain * (excess / spread) * next[i]
+		if d > next[i]-cc.MinShare {
+			d = next[i] - cc.MinShare
+		}
+		if d <= 0 {
+			continue
+		}
+		shed[i] = d * meanDemand[i]
+		total += shed[i]
+	}
+	if total <= 0 {
+		return next
+	}
+
+	// Receivers: capacity is the headroom to MaxShare, again in demand
+	// units. If the rack cannot absorb the full shed, donors keep the
+	// remainder (scaled back proportionally).
+	capacity := make([]float64, n)
+	capTotal := 0.0
+	for i := range next {
+		if float64(inlets[i]) >= mean || meanDemand[i] <= 0 {
+			continue
+		}
+		capacity[i] = (maxShare[i] - next[i]) * meanDemand[i]
+		if capacity[i] < 0 {
+			capacity[i] = 0
+		}
+		capTotal += capacity[i]
+	}
+	if capTotal <= 0 {
+		return next
+	}
+	moved := total
+	if capTotal < moved {
+		moved = capTotal
+	}
+	scaleBack := moved / total
+	for i := range next {
+		if shed[i] > 0 {
+			next[i] -= shed[i] * scaleBack / meanDemand[i]
+		}
+		if capacity[i] > 0 {
+			next[i] += capacity[i] * (moved / capTotal) / meanDemand[i]
+		}
+	}
+	return next
+}
+
+// arbitrate turns the previous round's per-node outcomes into Table II
+// proposals, runs the rack-level selector against the global budget, and
+// maps the granted power allocations back to cap ceilings. Returns nil
+// ceilings when the budget knob is off.
+func arbitrate(c Config, cc CoordinatorConfig, res *Result) (ceils []units.Utilization, fans []units.RPM, budget units.Watt, err error) {
+	if cc.PowerBudget <= 0 && cc.FanTrim <= 0 {
+		return nil, nil, 0, nil
+	}
+	proposals := make([]coord.RackProposal, len(c.Nodes))
+	sumFloor := 0.0
+	for i, node := range c.Nodes {
+		cpu, _, err := node.Config.Models()
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("fleet: node %q: %w", node.Name, err)
+		}
+		m := res.Nodes[i].Metrics
+		capDir := coord.Hold
+		switch {
+		case m.ViolationFrac > 0:
+			capDir = coord.Up
+		case float64(m.MeanDelivered)+0.15 < 1:
+			capDir = coord.Down
+		}
+		fanDir := coord.Hold
+		switch {
+		case m.TimeAboveLimit > 0 || m.MaxJunction > node.Config.TLimit-1:
+			fanDir = coord.Up
+		case m.ViolationFrac == 0 && m.MeanFanSpeed > node.Config.FanMinSpeed+500:
+			fanDir = coord.Down
+		}
+		need := cpu.Power(1)
+		if capDir != coord.Up {
+			need = cpu.Power(units.ClampUtil(m.MeanDelivered + 0.1))
+		}
+		floor := cpu.Power(cc.CapFloor)
+		sumFloor += float64(floor)
+		proposals[i] = coord.RackProposal{
+			CapDir:  capDir,
+			FanDir:  fanDir,
+			Floor:   float64(floor),
+			Need:    float64(need),
+			Urgency: m.ViolationFrac*1e6 + float64(res.Nodes[i].Inlet),
+		}
+	}
+	var effBudget float64
+	if cc.PowerBudget > 0 {
+		budget = cc.PowerBudget
+		if float64(budget) < sumFloor {
+			budget = units.Watt(sumFloor) // floors outrank the budget
+		}
+		effBudget = float64(budget)
+	} else {
+		// Fan trimming without a budget: an unconstrained arbitration
+		// (everyone granted their full ask) still selects the actions.
+		for _, p := range proposals {
+			effBudget += math.Max(p.Floor, p.Need)
+		}
+	}
+	grants, err := coord.ArbitrateRack(effBudget, proposals)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if cc.PowerBudget > 0 {
+		ceils = make([]units.Utilization, len(c.Nodes))
+		for i, node := range c.Nodes {
+			cpu, _, _ := node.Config.Models()
+			u := cpu.UtilizationFor(units.Watt(grants[i].Alloc))
+			if u < cc.CapFloor {
+				u = cc.CapFloor
+			}
+			ceils[i] = u
+		}
+	}
+	if cc.FanTrim > 0 {
+		fans = make([]units.RPM, len(c.Nodes))
+		for i, node := range c.Nodes {
+			m := res.Nodes[i].Metrics
+			if grants[i].Action == coord.ApplyFan && proposals[i].FanDir == coord.Down {
+				fans[i] = units.ClampRPM(
+					units.RPM(float64(m.MeanFanSpeed)*(1+cc.FanTrim)),
+					node.Config.FanMinSpeed, node.Config.FanMaxSpeed)
+			}
+		}
+	}
+	return ceils, fans, budget, nil
+}
+
+// RunCoordinated simulates the rack under the global coordinator. Round 0
+// is plain local control (bit-identical to Run); each further round
+// derives a placement + arbitration plan from the previous round's
+// outcome, applies it to the warm rack instance, and re-resolves the
+// recirculation fixed point. The best round under betterResult is the
+// coordinated answer — so the coordinated result never does worse than
+// local control on (time above limit, violations, fan energy), and the
+// whole procedure is bit-identical at any Workers value.
+//
+// Trace capture (Config.Record) applies to the returned Coordinated
+// result: the best plan is re-applied and re-simulated once with
+// recording on (the Local baseline carries metrics only).
+func RunCoordinated(c Config, cc CoordinatorConfig) (*CoordResult, error) {
+	cc.setDefaults()
+	if err := cc.validate(); err != nil {
+		return nil, err
+	}
+	r, err := newRack(c)
+	if err != nil {
+		return nil, err
+	}
+	n := len(c.Nodes)
+
+	meanDemand := make([]float64, n)
+	maxShare := make([]float64, n)
+	for i := 0; i < n; i++ {
+		meanDemand[i] = r.ls.MeanDemand(i)
+		maxShare[i] = cc.MaxShare
+		if peak := r.ls.MaxDemand(i); peak > 0 && cc.PeakTarget/peak < maxShare[i] {
+			maxShare[i] = cc.PeakTarget / peak
+			if maxShare[i] < 1 {
+				// A node whose own spikes already exceed the peak target
+				// keeps its share; migration only stops adding to it.
+				maxShare[i] = 1
+			}
+		}
+	}
+
+	local, err := r.relax(false)
+	if err != nil {
+		return nil, err
+	}
+	out := &CoordResult{
+		Local:       local,
+		Coordinated: local,
+		TotalPasses: local.Passes,
+	}
+	plans := []coordPlan{identityPlan(n)}
+	bestPlan := plans[0]
+	cur := local
+
+	for round := 1; round <= cc.Rounds; round++ {
+		prev := plans[len(plans)-1]
+		inlets := make([]units.Celsius, n)
+		for i, node := range cur.Nodes {
+			inlets[i] = node.Inlet
+		}
+		shares := migrate(cc, inlets, meanDemand, maxShare, prev.shares)
+		capCeils, fanCeils, budget, err := arbitrate(c, cc, cur)
+		if err != nil {
+			return nil, err
+		}
+		out.Budget = budget
+		plan := coordPlan{shares: shares, capCeils: capCeils, fanCeils: fanCeils}
+		if reflect.DeepEqual(plan, prev) {
+			break // the plan stopped moving: further rounds change nothing
+		}
+		if err := r.apply(plan); err != nil {
+			return nil, err
+		}
+		res, err := r.relax(false)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, plan)
+		out.Rounds++
+		out.TotalPasses += res.Passes
+		cur = res
+		if betterResult(res, out.Coordinated) {
+			out.Coordinated = res
+			out.BestRound = round
+			bestPlan = plan
+		}
+	}
+
+	if c.Record {
+		// Re-run the winning plan once with trace capture; metrics are
+		// bit-identical to the round that won.
+		if err := r.apply(bestPlan); err != nil {
+			return nil, err
+		}
+		res, err := r.relax(true)
+		if err != nil {
+			return nil, err
+		}
+		out.TotalPasses += res.Passes
+		out.Coordinated = res
+	}
+
+	out.Shares = bestPlan.shares
+	out.CapCeils = bestPlan.capCeils
+	out.FanCeils = bestPlan.fanCeils
+	moved, totalDemand := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		totalDemand += meanDemand[i]
+		if bestPlan.shares[i] < 1 {
+			moved += (1 - bestPlan.shares[i]) * meanDemand[i]
+		}
+	}
+	if totalDemand > 0 {
+		out.MigratedShare = moved / totalDemand
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// coordRack returns the coordinator test rack: recirculation strong
+// enough that per-node control leaves rack-level slack on the table.
+func coordRack(t testing.TB, n int, recirc float64, workers int) Config {
+	t.Helper()
+	cfg, err := NewRack(n, nil, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Duration = 900
+	cfg.Recirc = units.KPerW(recirc)
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestCoordinatedDeterministicAcrossWorkers mirrors the fixed-point
+// acceptance bar for the coordinator: the whole multi-round procedure —
+// baseline, migration plans, arbitration, best-round selection — must be
+// bit-identical at any Workers value.
+func TestCoordinatedDeterministicAcrossWorkers(t *testing.T) {
+	cc := CoordinatorConfig{PowerBudget: 700}
+	want, err := RunCoordinated(coordRack(t, 6, 0.03, 1), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := RunCoordinated(coordRack(t, 6, 0.03, workers), cc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: coordinated result differs from serial run", workers)
+		}
+	}
+}
+
+// TestCoordinatedBeatsOrTiesLocal: the best-round fallback makes the
+// coordinated result never worse than local control on the (violations,
+// fan energy) objective, at any recirculation strength — and the Local
+// baseline embedded in the result is exactly what Run produces.
+func TestCoordinatedBeatsOrTiesLocal(t *testing.T) {
+	for _, recirc := range []float64{0, 0.02, 0.05} {
+		cfg := coordRack(t, 6, recirc, 0)
+		res, err := RunCoordinated(cfg, CoordinatorConfig{})
+		if err != nil {
+			t.Fatalf("recirc=%v: %v", recirc, err)
+		}
+		local, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Local, local) {
+			t.Errorf("recirc=%v: embedded Local baseline differs from Run", recirc)
+		}
+		if res.Coordinated.ViolationFrac > res.Local.ViolationFrac {
+			t.Errorf("recirc=%v: coordinated violations %v above local %v",
+				recirc, res.Coordinated.ViolationFrac, res.Local.ViolationFrac)
+		}
+		if res.Coordinated.ViolationFrac == res.Local.ViolationFrac &&
+			res.Coordinated.FanEnergy > res.Local.FanEnergy {
+			t.Errorf("recirc=%v: coordinated fan energy %v above local %v at equal violations",
+				recirc, res.Coordinated.FanEnergy, res.Local.FanEnergy)
+		}
+	}
+}
+
+// TestCoordinatedImprovesRecircHeavyRack is the acceptance bar from the
+// fleet-control ROADMAP item: on a recirculation-heavy rack the
+// coordinator must strictly improve violations or fan energy over
+// per-node control, not merely tie it.
+func TestCoordinatedImprovesRecircHeavyRack(t *testing.T) {
+	res, err := RunCoordinated(coordRack(t, 6, 0.03, 0), CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestRound == 0 {
+		t.Fatal("coordinator never beat local control on the recirculation-heavy rack")
+	}
+	if res.Coordinated.ViolationFrac >= res.Local.ViolationFrac &&
+		res.Coordinated.FanEnergy >= res.Local.FanEnergy {
+		t.Errorf("no strict improvement: violations %v -> %v, fan energy %v -> %v",
+			res.Local.ViolationFrac, res.Coordinated.ViolationFrac,
+			res.Local.FanEnergy, res.Coordinated.FanEnergy)
+	}
+	if res.MigratedShare <= 0 {
+		t.Errorf("winning plan migrated no share")
+	}
+}
+
+// TestMigratePreservesDemand: the placement step conserves the rack's
+// demand-weighted share exactly and respects the [MinShare, MaxShare]
+// bounds, whatever the inlet field looks like.
+func TestMigratePreservesDemand(t *testing.T) {
+	cc := CoordinatorConfig{}
+	cc.setDefaults()
+	inlets := []units.Celsius{24, 26, 31, 33, 29, 24.5}
+	meanDemand := []float64{0.5, 0.65, 0.4, 0.7, 0.55, 0.6}
+	maxShare := []float64{cc.MaxShare, cc.MaxShare, cc.MaxShare, cc.MaxShare, cc.MaxShare, cc.MaxShare}
+	shares := []float64{1, 1, 1, 1, 1, 1}
+	for round := 0; round < 4; round++ {
+		next := migrate(cc, inlets, meanDemand, maxShare, shares)
+		var before, after float64
+		for i := range shares {
+			before += shares[i] * meanDemand[i]
+			after += next[i] * meanDemand[i]
+			if next[i] < cc.MinShare-1e-12 || next[i] > cc.MaxShare+1e-12 {
+				t.Fatalf("round %d node %d: share %v outside [%v, %v]",
+					round, i, next[i], cc.MinShare, cc.MaxShare)
+			}
+		}
+		if math.Abs(after-before) > 1e-9 {
+			t.Fatalf("round %d: demand not conserved (%v -> %v)", round, before, after)
+		}
+		shares = next
+	}
+	// Hot nodes shed, cool nodes absorb.
+	if shares[3] >= 1 {
+		t.Errorf("hottest node kept share %v", shares[3])
+	}
+	if shares[0] <= 1 {
+		t.Errorf("coolest node kept share %v", shares[0])
+	}
+
+	// A flat inlet field migrates nothing.
+	flat := migrate(cc, []units.Celsius{25, 25, 25}, []float64{0.5, 0.5, 0.5},
+		[]float64{cc.MaxShare, cc.MaxShare, cc.MaxShare}, []float64{1, 1, 1})
+	for i, s := range flat {
+		if s != 1 {
+			t.Errorf("flat field moved node %d to %v", i, s)
+		}
+	}
+}
+
+// TestCoordinatorBudgetInvariants is the fleet-level half of the budget
+// property test: across rack sizes and seeds, the arbitrated per-node cap
+// ceilings never admit more total power than the resolved global budget
+// and never dip below the local cap floor.
+func TestCoordinatorBudgetInvariants(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg, err := NewRack(n, nil, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Duration = 300
+			cfg.Recirc = 0.02
+			cfg.Workers = 1
+			cpu, _, err := cfg.Nodes[0].Config.Models()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A budget at 80% of the full-load draw forces the
+			// arbitration to actually ration.
+			budget := units.Watt(0.8 * float64(n) * float64(cpu.Power(1)))
+			cc := CoordinatorConfig{PowerBudget: budget}
+			cc.setDefaults()
+			local, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			ceils, _, resolved, err := arbitrate(cfg, cc, local)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if ceils == nil {
+				t.Fatalf("n=%d seed=%d: budgeted arbitration granted no cap ceilings", n, seed)
+			}
+			if resolved < budget {
+				t.Fatalf("n=%d seed=%d: resolved budget %v below configured %v", n, seed, resolved, budget)
+			}
+			total := 0.0
+			for i, ceil := range ceils {
+				if ceil < 0.5 {
+					t.Fatalf("n=%d seed=%d node %d: cap ceiling %v below the local floor", n, seed, i, ceil)
+				}
+				if ceil > 1 {
+					t.Fatalf("n=%d seed=%d node %d: cap ceiling %v above 1", n, seed, i, ceil)
+				}
+				nodeCPU, _, err := cfg.Nodes[i].Config.Models()
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += float64(nodeCPU.Power(ceil))
+			}
+			if total > float64(resolved)+1e-6 {
+				t.Fatalf("n=%d seed=%d: ceilings admit %v W against budget %v", n, seed, total, resolved)
+			}
+
+			// The same invariants hold for whatever plan RunCoordinated
+			// ends up shipping (nil ceilings mean local control won).
+			res, err := RunCoordinated(cfg, cc)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			shipped := 0.0
+			for i, ceil := range res.CapCeils {
+				if ceil < 0.5 || ceil > 1 {
+					t.Fatalf("n=%d seed=%d node %d: shipped cap ceiling %v outside [0.5, 1]", n, seed, i, ceil)
+				}
+				nodeCPU, _, _ := cfg.Nodes[i].Config.Models()
+				shipped += float64(nodeCPU.Power(ceil))
+			}
+			if res.CapCeils != nil && shipped > float64(res.Budget)+1e-6 {
+				t.Fatalf("n=%d seed=%d: shipped ceilings admit %v W against budget %v", n, seed, shipped, res.Budget)
+			}
+		}
+	}
+}
+
+// TestCoordinatedRecordTraces: Record captures the winning round's full
+// trace set on the Coordinated result.
+func TestCoordinatedRecordTraces(t *testing.T) {
+	cfg := coordRack(t, 3, 0.03, 1)
+	cfg.Duration = 300
+	cfg.Record = true
+	res, err := RunCoordinated(cfg, CoordinatorConfig{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range res.Coordinated.Nodes {
+		if node.Traces == nil || node.Traces.Get("total_power") == nil {
+			t.Fatalf("node %q missing recorded traces", node.Name)
+		}
+	}
+}
+
+// TestCoordinatorConfigValidation: degenerate knobs fail loudly.
+func TestCoordinatorConfigValidation(t *testing.T) {
+	cfg := coordRack(t, 2, 0.01, 1)
+	cfg.Duration = 120
+	bad := []CoordinatorConfig{
+		{PowerBudget: -5},
+		{MigrationGain: 1.5},
+		{MigrationGain: -0.1},
+		{MinShare: 1.2},
+		{MaxShare: 0.8},
+		{PeakTarget: 1.5},
+		{Rounds: -1},
+		{CapFloor: 1.5},
+		{FanTrim: -0.2},
+	}
+	for i, cc := range bad {
+		if _, err := RunCoordinated(cfg, cc); err == nil {
+			t.Errorf("bad coordinator config %d accepted: %+v", i, cc)
+		}
+	}
+}
+
+// TestLimitedPolicyClamps: the wrapper applies the coordinator's ceilings
+// and nothing else.
+func TestLimitedPolicyClamps(t *testing.T) {
+	inner := sim.HoldPolicy{Fan: 6000}
+	p := &limitedPolicy{inner: inner, capCeil: 0.8, fanCeil: 5000}
+	cmd := p.Step(sim.Observation{})
+	if cmd.Fan != 5000 {
+		t.Errorf("fan %v, want ceiling 5000", cmd.Fan)
+	}
+	if cmd.Cap != 0.8 {
+		t.Errorf("cap %v, want ceiling 0.8", cmd.Cap)
+	}
+	loose := &limitedPolicy{inner: inner}
+	cmd = loose.Step(sim.Observation{})
+	if cmd.Fan != 6000 || cmd.Cap != 1 {
+		t.Errorf("unlimited wrapper altered the command: %+v", cmd)
+	}
+	if p.Name() != "hold+rack" {
+		t.Errorf("name %q", p.Name())
+	}
+}

@@ -309,3 +309,50 @@ func TestSweepGridOrderAndDeterminism(t *testing.T) {
 		t.Error("negative spread accepted")
 	}
 }
+
+// TestSweepCoordinatorColumn: with a Coordinator the sweep carries the
+// coordinated-vs-local comparison per point — the baseline stays exactly
+// the storeless local result, the coordinated side never does worse, and
+// the whole grid stays bit-identical across Workers counts.
+func TestSweepCoordinatorColumn(t *testing.T) {
+	sc := SweepConfig{
+		RackSizes:   []int{2, 4},
+		Spreads:     []units.Celsius{0, 8},
+		Seed:        7,
+		Duration:    300,
+		Recirc:      0.02,
+		Coordinator: &CoordinatorConfig{},
+	}
+	points, err := Sweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := sc
+	plain.Coordinator = nil
+	base, err := Sweep(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if p.Coord == nil {
+			t.Fatalf("point %d missing coordinated column", i)
+		}
+		if !reflect.DeepEqual(p.Result, base[i].Result) {
+			t.Errorf("point %d: coordinated sweep perturbed the local baseline", i)
+		}
+		if p.Coord.Coordinated.ViolationFrac > p.Result.ViolationFrac {
+			t.Errorf("point %d: coordinated violations above local", i)
+		}
+	}
+
+	sc.Workers = 3
+	again, err := Sweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if !reflect.DeepEqual(again[i], points[i]) {
+			t.Fatalf("coordinated sweep point %d drifted across workers", i)
+		}
+	}
+}

@@ -124,13 +124,51 @@ func (c Config) buildJobs(inlets []units.Celsius) ([]sim.Job, error) {
 	return jobs, nil
 }
 
+// rack is one warm rack instance: the lockstep batch plus the relaxation
+// bookkeeping, reusable across whole relaxations. Run resolves a single
+// fixed point on one; the coordinator (coordinator.go) re-enters relax
+// once per coordination round, adjusting lane demand scales and wrapping
+// node policies in between.
+type rack struct {
+	cfg Config
+	ls  *sim.Lockstep
+	// wrap optionally decorates each freshly built node policy (the
+	// coordinator installs its per-node cap/fan limits here); nil is the
+	// identity.
+	wrap func(i int, p sim.Policy) sim.Policy
+	// fresh marks an instance whose lanes still hold buildJobs' pristine
+	// pass-0 policies and inlets: the first relax can skip its initial
+	// rehome (rebuilding identical policies would only cost allocations).
+	fresh bool
+
+	meanPower []units.Watt
+}
+
+// newRack validates the config and builds the warm instance: servers
+// constructed and workload schedules compiled exactly once.
+func newRack(c Config) (*rack, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := c.buildJobs(c.Inlets(nil))
+	if err != nil {
+		return nil, err
+	}
+	ls, err := sim.NewLockstep(jobs, sim.BatchOptions{Workers: c.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &rack{cfg: c, ls: ls, fresh: true, meanPower: make([]units.Watt, len(c.Nodes))}, nil
+}
+
 // rehome prepares the warm rack instance for the next relaxation pass:
 // every lane is re-homed at its new inlet and given a fresh policy built
 // against that operating point (the DTM's release-speed model reads the
-// ambient). Servers, schedules and recording buffers are reused.
-func (c Config) rehome(ls *sim.Lockstep, inlets []units.Celsius) error {
-	for i, n := range c.Nodes {
-		if err := ls.SetAmbient(i, inlets[i]); err != nil {
+// ambient), decorated by the wrap hook when one is installed. Servers,
+// schedules and recording buffers are reused.
+func (r *rack) rehome(inlets []units.Celsius) error {
+	for i, n := range r.cfg.Nodes {
+		if err := r.ls.SetAmbient(i, inlets[i]); err != nil {
 			return fmt.Errorf("fleet: node %q at inlet %v: %w", n.Name, inlets[i], err)
 		}
 		cfg := n.Config
@@ -139,7 +177,10 @@ func (c Config) rehome(ls *sim.Lockstep, inlets []units.Celsius) error {
 		if err != nil {
 			return fmt.Errorf("fleet: node %q policy: %w", n.Name, err)
 		}
-		if err := ls.SetPolicy(i, pol); err != nil {
+		if r.wrap != nil {
+			pol = r.wrap(i, pol)
+		}
+		if err := r.ls.SetPolicy(i, pol); err != nil {
 			return fmt.Errorf("fleet: node %q: %w", n.Name, err)
 		}
 	}
@@ -197,43 +238,51 @@ func maxDelta(a, b []units.Celsius) float64 {
 // a divergence guard for recirculation coefficients strong enough that
 // the fixed point runs away instead of settling.
 func Run(c Config) (*Result, error) {
-	if err := c.Validate(); err != nil {
+	r, err := newRack(c)
+	if err != nil {
 		return nil, err
 	}
+	return r.relax(c.Record)
+}
+
+// relax resolves one whole recirculation fixed point on the warm rack
+// instance, starting from the position-only (pass-0) inlet field: fresh
+// policies are installed against it, every lane's demand scale and wrap
+// hook is honored as currently set, and the relaxation loop of Run
+// executes. record toggles full trace capture on the final pass. relax is
+// re-entrant: the coordinator calls it once per round, and a repeat call
+// with unchanged scales and wrap reproduces the previous result bit for
+// bit.
+func (r *rack) relax(record bool) (*Result, error) {
+	c := r.cfg
 	maxPasses, tolMode := c.passBudget()
 	inlets := c.Inlets(nil)
-	jobs, err := c.buildJobs(inlets)
-	if err != nil {
+	if r.fresh {
+		r.fresh = false
+	} else if err := r.rehome(inlets); err != nil {
 		return nil, err
 	}
-	ls, err := sim.NewLockstep(jobs, sim.BatchOptions{Workers: c.Workers})
-	if err != nil {
-		return nil, err
-	}
-
-	meanPower := make([]units.Watt, len(c.Nodes))
 	passes := 0
 	var results []*sim.Result
 	for {
-		if c.Record {
-			// Full trace capture costs seven extra series per node per
-			// pass; in fixed-pass mode only the known-final pass needs it.
-			// Under a convergence tolerance the final pass is only known
-			// in hindsight, so every pass records (into reused buffers).
-			final := tolMode || passes+1 == maxPasses
-			for i := range c.Nodes {
-				ls.SetRecord(i, final, true)
-			}
+		// Full trace capture costs seven extra series per node per
+		// pass; in fixed-pass mode only the known-final pass needs it.
+		// Under a convergence tolerance the final pass is only known
+		// in hindsight, so every pass records (into reused buffers).
+		final := tolMode || passes+1 == maxPasses
+		for i := range c.Nodes {
+			r.ls.SetRecord(i, record && final, true)
 		}
-		results, err = ls.Run()
+		var err error
+		results, err = r.ls.Run()
 		if err != nil {
 			return nil, err
 		}
 		passes++
-		for i, r := range results {
-			meanPower[i] = units.Watt(float64(r.Metrics.CPUEnergy+r.Metrics.FanEnergy) / float64(c.Duration))
+		for i, res := range results {
+			r.meanPower[i] = units.Watt(float64(res.Metrics.CPUEnergy+res.Metrics.FanEnergy) / float64(c.Duration))
 		}
-		next := c.Inlets(meanPower)
+		next := c.Inlets(r.meanPower)
 		if tolMode {
 			if maxDelta(next, inlets) <= float64(c.RecircTol) {
 				break
@@ -246,7 +295,7 @@ func Run(c Config) (*Result, error) {
 			break
 		}
 		inlets = next
-		if err := c.rehome(ls, inlets); err != nil {
+		if err := r.rehome(inlets); err != nil {
 			return nil, err
 		}
 	}

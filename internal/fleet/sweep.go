@@ -31,6 +31,11 @@ type SweepConfig struct {
 	Duration units.Seconds
 	// Workers caps per-point batch concurrency.
 	Workers int
+	// Coordinator, when set, runs every grid point under the rack-level
+	// global coordinator as well: SweepPoint.Result stays the per-node
+	// control baseline (the coordinator's round 0 — no extra simulation)
+	// and SweepPoint.Coord carries the coordinated-vs-local comparison.
+	Coordinator *CoordinatorConfig
 }
 
 // SweepPoint is one grid point's outcome.
@@ -38,6 +43,9 @@ type SweepPoint struct {
 	RackSize int
 	Spread   units.Celsius
 	Result   *Result
+	// Coord is the coordinated run of the same rack; nil unless
+	// SweepConfig.Coordinator was set.
+	Coord *CoordResult
 }
 
 // Sweep runs the grid in row-major order (sizes outer, spreads inner) and
@@ -78,11 +86,21 @@ func Sweep(sc SweepConfig) ([]SweepPoint, error) {
 			if sc.Duration > 0 {
 				cfg.Duration = sc.Duration
 			}
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fleet: sweep point (size %d, spread %v): %w", size, spread, err)
+			point := SweepPoint{RackSize: size, Spread: spread}
+			if sc.Coordinator != nil {
+				coord, err := RunCoordinated(cfg, *sc.Coordinator)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: sweep point (size %d, spread %v): %w", size, spread, err)
+				}
+				point.Result, point.Coord = coord.Local, coord
+			} else {
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: sweep point (size %d, spread %v): %w", size, spread, err)
+				}
+				point.Result = res
 			}
-			points = append(points, SweepPoint{RackSize: size, Spread: spread, Result: res})
+			points = append(points, point)
 		}
 	}
 	return points, nil

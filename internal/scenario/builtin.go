@@ -153,8 +153,8 @@ func registerBuiltinPolicies() {
 		r := regions[region]
 		pid, err := control.NewPID(control.PIDConfig{
 			Gains: r.Gains, RefSpeed: r.RefSpeed,
-			RefTemp: units.Celsius(p.Get("ref_temp", 68)),
-			Limits:  control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed},
+			RefTemp:  units.Celsius(p.Get("ref_temp", 68)),
+			Limits:   control.Limits{Min: cfg.FanMinSpeed, Max: cfg.FanMaxSpeed},
 			SlewFrac: 0.6, SlewFloor: 400,
 		})
 		if err != nil {

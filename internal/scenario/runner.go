@@ -59,6 +59,7 @@ func init() {
 	RegisterKind(KindBatch, "concurrent jobs, auto engine (lockstep or batch)", runSimBatch)
 	RegisterKind(KindLockstep, "concurrent jobs, lockstep engine asserted", runSimBatch)
 	RegisterKind(KindFleet, "rack with shared inlet field (fleet.Run)", runFleet)
+	RegisterKind(KindFleetCoord, "rack under the global coordinator (fleet.RunCoordinated)", runFleetCoord)
 	RegisterKind(KindMulticore, "three-controller N-core run (multicore.Run)", runMulticore)
 }
 
@@ -321,28 +322,26 @@ const (
 	MetricInletC         = "inlet_c"
 )
 
-// runFleet executes a rack scenario through the fleet engine.
-func runFleet(s Spec) (*Outcome, error) {
-	cfg, err := s.fleetConfig()
-	if err != nil {
-		return nil, err
-	}
-	res, err := fleet.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out := &Outcome{Kind: s.Kind, Units: make([]Unit, len(res.Nodes))}
+// fleetUnits folds a rack result's per-node views into outcome units.
+func fleetUnits(res *fleet.Result) []Unit {
+	units := make([]Unit, len(res.Nodes))
 	for i, n := range res.Nodes {
 		m := simMetricsMap(n.Metrics)
 		m[MetricSlot] = float64(n.Slot)
 		m[MetricInletC] = float64(n.Inlet)
-		out.Units[i] = Unit{
+		units[i] = Unit{
 			Name:    n.Name,
 			Labels:  map[string]string{"aisle": n.Aisle.String()},
 			Metrics: m,
 			Series:  FromTraceSet(n.Traces),
 		}
 	}
+	return units
+}
+
+// fleetAggregate folds a rack result's rack- and aisle-level metrics into
+// the normalized aggregate map.
+func fleetAggregate(res *fleet.Result) map[string]float64 {
 	agg := map[string]float64{
 		MetricPasses:         float64(res.Passes),
 		MetricTicks:          float64(res.Ticks),
@@ -368,8 +367,85 @@ func runFleet(s Spec) (*Outcome, error) {
 		agg[prefix+MetricMaxJunctionC] = float64(am.MaxJunction)
 		agg[prefix+"mean_inlet_c"] = float64(am.MeanInlet)
 	}
-	out.Aggregate = agg
+	return agg
+}
+
+// runFleet executes a rack scenario through the fleet engine.
+func runFleet(s Spec) (*Outcome, error) {
+	cfg, err := s.fleetConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Kind: s.Kind, Units: fleetUnits(res), Aggregate: fleetAggregate(res)}
 	AddSimTicks(int64(res.Ticks) * int64(len(res.Nodes)) * int64(res.Passes))
+	return out, nil
+}
+
+// The fleetcoord metric keys: the coordinated rack carries the usual
+// fleet aggregates, the local (per-node control) baseline rides along
+// under the "local_" prefix, and the per-node units expose the winning
+// plan (demand share, arbitrated ceilings).
+const (
+	MetricShare          = "share"
+	MetricCapCeil        = "cap_ceil"
+	MetricFanCeilRPM     = "fan_ceil_rpm"
+	MetricCoordRounds    = "coord_rounds"
+	MetricCoordBestRound = "coord_best_round"
+	MetricCoordBudgetW   = "coord_budget_w"
+	MetricCoordMigrated  = "coord_migrated_share"
+	LocalMetricPrefix    = "local_"
+)
+
+// coordinatorConfig maps the spec's Params knobs onto the fleet
+// coordinator configuration (zero/absent knobs keep the defaults).
+func coordinatorConfig(p Params) fleet.CoordinatorConfig {
+	return fleet.CoordinatorConfig{
+		PowerBudget:   units.Watt(p.Get("power_budget_w", 0)),
+		MigrationGain: p.Get("migration_gain", 0),
+		MaxShare:      p.Get("max_share", 0),
+		MinShare:      p.Get("min_share", 0),
+		PeakTarget:    p.Get("peak_target", 0),
+		Rounds:        int(p.Get("rounds", 0)),
+		CapFloor:      units.Utilization(p.Get("cap_floor", 0)),
+		FanTrim:       p.Get("fan_trim", 0),
+	}
+}
+
+// runFleetCoord executes a rack scenario under the global coordinator and
+// reports coordinated-vs-local side by side in one outcome.
+func runFleetCoord(s Spec) (*Outcome, error) {
+	cfg, err := s.fleetConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := fleet.RunCoordinated(cfg, coordinatorConfig(s.Params))
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Kind: s.Kind, Units: fleetUnits(res.Coordinated)}
+	for i := range out.Units {
+		out.Units[i].Metrics[MetricShare] = res.Shares[i]
+		if res.CapCeils != nil {
+			out.Units[i].Metrics[MetricCapCeil] = float64(res.CapCeils[i])
+		}
+		if res.FanCeils != nil {
+			out.Units[i].Metrics[MetricFanCeilRPM] = float64(res.FanCeils[i])
+		}
+	}
+	agg := fleetAggregate(res.Coordinated)
+	for k, v := range fleetAggregate(res.Local) {
+		agg[LocalMetricPrefix+k] = v
+	}
+	agg[MetricCoordRounds] = float64(res.Rounds)
+	agg[MetricCoordBestRound] = float64(res.BestRound)
+	agg[MetricCoordBudgetW] = float64(res.Budget)
+	agg[MetricCoordMigrated] = res.MigratedShare
+	out.Aggregate = agg
+	AddSimTicks(int64(res.Coordinated.Ticks) * int64(len(res.Coordinated.Nodes)) * int64(res.TotalPasses))
 	return out, nil
 }
 

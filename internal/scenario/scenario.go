@@ -48,6 +48,13 @@ const (
 	// KindFleet runs a rack through fleet.Run (shared inlet field,
 	// recirculation fixed point).
 	KindFleet = "fleet"
+	// KindFleetCoord runs the same rack under the rack-level global
+	// coordinator (fleet.RunCoordinated): thermal-aware load placement
+	// plus a Table II-style global budget arbitration layered over the
+	// warm-lockstep fixed point. It reads the Fleet block like KindFleet;
+	// the coordinator's policy knobs travel in Spec.Params (see
+	// FleetCoordParams), so they participate in the store identity hash.
+	KindFleetCoord = "fleetcoord"
 	// KindMulticore runs the three-controller N-core scenario through
 	// multicore.Run.
 	KindMulticore = "multicore"
@@ -244,6 +251,22 @@ func (s *Spec) Validate() error {
 		if len(s.Jobs) > 0 || s.Multicore != nil || len(s.Params) > 0 {
 			return fmt.Errorf("scenario: fleet spec carries blocks its kind ignores (jobs/multicore/params)")
 		}
+	case KindFleetCoord:
+		if len(s.Jobs) > 0 || s.Multicore != nil {
+			return fmt.Errorf("scenario: fleetcoord spec carries blocks its kind ignores (jobs/multicore)")
+		}
+		// Params hold the coordinator knobs — but only those: an unknown
+		// key would be inert yet still split the store cell. "rounds" is
+		// consumed as an integer, so a fractional value would be another
+		// cell-splitter (truncated at run time, distinct in the hash).
+		for _, k := range s.Params.Keys() {
+			if !fleetCoordParams[k] {
+				return fmt.Errorf("scenario: fleetcoord spec has unknown coordinator param %q (known: %v)", k, FleetCoordParams())
+			}
+		}
+		if rounds, ok := s.Params["rounds"]; ok && rounds != float64(int(rounds)) {
+			return fmt.Errorf("scenario: fleetcoord rounds %v is not an integer", rounds)
+		}
 	case KindMulticore:
 		if len(s.Jobs) > 0 || s.Fleet != nil || len(s.Params) > 0 {
 			return fmt.Errorf("scenario: multicore spec carries blocks its kind ignores (jobs/fleet/params)")
@@ -268,9 +291,9 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("scenario: job %d (%s) policy: %w", i, j.Name, err)
 			}
 		}
-	case KindFleet:
+	case KindFleet, KindFleetCoord:
 		if s.Fleet == nil {
-			return fmt.Errorf("scenario: fleet spec missing Fleet block")
+			return fmt.Errorf("scenario: %s spec missing Fleet block", s.Kind)
 		}
 		if s.Duration <= 0 {
 			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
@@ -338,3 +361,28 @@ func parseAisle(s string) (fleet.Aisle, error) {
 
 // AisleName returns the canonical spec name for a fleet aisle.
 func AisleName(a fleet.Aisle) string { return a.String() }
+
+// fleetCoordParams is the closed set of coordinator policy knobs a
+// fleetcoord spec may carry in Params. Every knob is semantic (it shapes
+// the run), so all of them participate in the store identity hash; zero
+// or absent values select fleet.CoordinatorConfig's defaults.
+var fleetCoordParams = map[string]bool{
+	"power_budget_w": true, // global rack power budget (W); 0 = off
+	"migration_gain": true, // share moved per round at the spread extreme
+	"max_share":      true, // per-node demand share ceiling
+	"min_share":      true, // per-node demand share floor
+	"peak_target":    true, // scaled-peak demand bound for receivers
+	"rounds":         true, // coordination rounds after the baseline
+	"cap_floor":      true, // utilization floor the arbitration guarantees
+	"fan_trim":       true, // fan ceiling margin for savings-class nodes
+}
+
+// FleetCoordParams returns the recognized fleetcoord knob names, sorted.
+func FleetCoordParams() []string {
+	names := make([]string, 0, len(fleetCoordParams))
+	for k := range fleetCoordParams {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -391,3 +391,172 @@ func TestWorkloadSharing(t *testing.T) {
 		t.Error("different seeds aliased one generator")
 	}
 }
+
+// TestFleetCoordValidation: the coordinator kind requires the Fleet
+// block, accepts only known coordinator knobs in Params, and the plain
+// fleet kind still rejects Params outright.
+func TestFleetCoordValidation(t *testing.T) {
+	good := Spec{
+		Kind:     KindFleetCoord,
+		Duration: 300,
+		Fleet:    &FleetSpec{Size: 2, Seed: 1, Recirc: 0.02},
+		Params:   Params{"migration_gain": 0.4, "rounds": 1},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good fleetcoord spec rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		spec Spec
+	}{
+		{"missing fleet block", Spec{Kind: KindFleetCoord, Duration: 300}},
+		{"unknown knob", func() Spec {
+			s := good
+			s.Params = Params{"warp_factor": 9}
+			return s
+		}()},
+		{"fractional rounds", func() Spec {
+			s := good
+			s.Params = Params{"rounds": 2.5}
+			return s
+		}()},
+		{"inert jobs", func() Spec {
+			s := good
+			s.Jobs = []JobSpec{{Workload: FactoryRef{Name: "constant"}, Policy: FactoryRef{Name: "full"}}}
+			return s
+		}()},
+		{"fleet kind with coordinator knobs", Spec{
+			Kind: KindFleet, Duration: 300,
+			Fleet:  &FleetSpec{Size: 2},
+			Params: Params{"migration_gain": 0.4},
+		}},
+	}
+	for _, tc := range bad {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestFleetCoordMatchesDirect pins the fleetcoord runner to a direct
+// fleet.RunCoordinated with the same knobs: coordinated units, the
+// local_ comparison aggregates, and the plan metadata all line up.
+func TestFleetCoordMatchesDirect(t *testing.T) {
+	spec := Spec{
+		Kind:     KindFleetCoord,
+		Name:     "coord",
+		Duration: 600,
+		Fleet:    &FleetSpec{Size: 4, Seed: 9, Recirc: 0.03},
+		Params:   Params{"power_budget_w": 700},
+	}
+	out, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := fleet.NewRack(4, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recirc = 0.03
+	cfg.Duration = 600
+	res, err := fleet.RunCoordinated(cfg, fleet.CoordinatorConfig{PowerBudget: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, n := range res.Coordinated.Nodes {
+		u := &out.Units[i]
+		if got := SimMetrics(u); got != n.Metrics {
+			t.Errorf("node %s coordinated metrics differ", n.Name)
+		}
+		if got := u.Metric(MetricShare, -1); got != res.Shares[i] {
+			t.Errorf("node %s share %v != %v", n.Name, got, res.Shares[i])
+		}
+	}
+	agg := out.Aggregate
+	if agg[MetricViolationFrac] != res.Coordinated.ViolationFrac {
+		t.Errorf("coordinated violations %v != %v", agg[MetricViolationFrac], res.Coordinated.ViolationFrac)
+	}
+	if agg[LocalMetricPrefix+MetricViolationFrac] != res.Local.ViolationFrac {
+		t.Errorf("local violations %v != %v", agg[LocalMetricPrefix+MetricViolationFrac], res.Local.ViolationFrac)
+	}
+	if agg[LocalMetricPrefix+MetricFanEnergyJ] != float64(res.Local.FanEnergy) {
+		t.Errorf("local fan energy differs")
+	}
+	if agg[MetricCoordBestRound] != float64(res.BestRound) ||
+		agg[MetricCoordRounds] != float64(res.Rounds) ||
+		agg[MetricCoordBudgetW] != float64(res.Budget) ||
+		agg[MetricCoordMigrated] != res.MigratedShare {
+		t.Error("coordinator plan metadata differs from the direct run")
+	}
+	// The headline comparison the sweeps print: coordinated never worse.
+	if agg[MetricViolationFrac] > agg[LocalMetricPrefix+MetricViolationFrac] {
+		t.Error("coordinated violations above local in one outcome")
+	}
+
+	// Deterministic across Workers.
+	for _, workers := range []int{1, 3} {
+		s := spec
+		s.Workers = workers
+		again, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range agg {
+			if again.Aggregate[k] != v {
+				t.Fatalf("workers=%d: aggregate %s drifted", workers, k)
+			}
+		}
+	}
+}
+
+// TestFleetCoordSweepServedFromStore: coordinator cells resume from the
+// content-addressed store like any other kind — the second pass is all
+// hits and performs zero simulation ticks.
+func TestFleetCoordSweepServedFromStore(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{
+			Kind: KindFleetCoord, Name: "cell-a", Duration: 300,
+			Fleet:  &FleetSpec{Size: 2, Seed: 1, Recirc: 0.03},
+			Params: Params{"rounds": 1},
+		},
+		{
+			Kind: KindFleetCoord, Name: "cell-b", Duration: 300,
+			Fleet:  &FleetSpec{Size: 3, Seed: 2, Recirc: 0.03},
+			Params: Params{"rounds": 1},
+		},
+	}
+	cold, err := Sweep(specs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Misses != 2 {
+		t.Fatalf("cold sweep: %d misses, want 2", cold.Misses)
+	}
+	ticksBefore, runsBefore := ProbeSimTicks(), ProbeRuns()
+	warm, err := Sweep(specs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != 2 || warm.Misses != 0 {
+		t.Fatalf("warm sweep: %d hits / %d misses, want 2/0", warm.Hits, warm.Misses)
+	}
+	if d := ProbeSimTicks() - ticksBefore; d != 0 {
+		t.Errorf("warm coordinator sweep simulated %d ticks, want 0", d)
+	}
+	if d := ProbeRuns() - runsBefore; d != 0 {
+		t.Errorf("warm coordinator sweep executed %d runs, want 0", d)
+	}
+	for i := range warm.Cells {
+		a, b := cold.Cells[i].Outcome, warm.Cells[i].Outcome
+		if a.Aggregate[MetricViolationFrac] != b.Aggregate[MetricViolationFrac] ||
+			a.Aggregate[LocalMetricPrefix+MetricViolationFrac] != b.Aggregate[LocalMetricPrefix+MetricViolationFrac] {
+			t.Errorf("cell %d: cached coordinator outcome differs", i)
+		}
+	}
+}

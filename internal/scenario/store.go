@@ -165,6 +165,62 @@ func (st *Store) Len() (int, error) {
 	return n, nil
 }
 
+// CellInfo describes one stored cell for inspection listings (store ls):
+// enough to see what a cell is without decoding its outcome payload.
+type CellInfo struct {
+	// Key is the cell's content address (also its filename stem).
+	Key string
+	// Kind and Name echo the stored spec.
+	Kind string
+	Name string
+	// Units is the number of per-unit results in the outcome.
+	Units int
+	// Version is the cell's on-disk format version.
+	Version int
+	// Size is the cell file's size in bytes.
+	Size int64
+}
+
+// List inspects every cell in the store, sorted by key. Cells written by
+// other format versions are still listed (with their stored version) —
+// inspection sees what is on disk, unlike Get, which treats them as
+// misses.
+func (st *Store) List() ([]CellInfo, error) {
+	keys, err := st.Keys()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]CellInfo, 0, len(keys))
+	for _, key := range keys {
+		b, err := os.ReadFile(st.path(key))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: inspecting store cell %s: %w", key, err)
+		}
+		var probe struct {
+			Version int `json:"version"`
+			Spec    struct {
+				Kind string `json:"kind"`
+				Name string `json:"name"`
+			} `json:"spec"`
+			Outcome struct {
+				Units []struct{} `json:"units"`
+			} `json:"outcome"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return nil, fmt.Errorf("scenario: inspecting store cell %s: %w", key, err)
+		}
+		infos = append(infos, CellInfo{
+			Key:     key,
+			Kind:    probe.Spec.Kind,
+			Name:    probe.Spec.Name,
+			Units:   len(probe.Outcome.Units),
+			Version: probe.Version,
+			Size:    int64(len(b)),
+		})
+	}
+	return infos, nil
+}
+
 // Keys returns the stored cell keys, sorted.
 func (st *Store) Keys() ([]string, error) {
 	entries, err := os.ReadDir(st.dir)

@@ -58,6 +58,7 @@ func TestKeyGolden(t *testing.T) {
 				},
 			}
 		},
+		"17c743d1f66f81ea5986f49856f02089eea86920eafb99c7be5a63378d05599f": goldenFleetCoordSpec,
 	}
 	for want, build := range golden {
 		got, err := Key(build())
@@ -68,6 +69,61 @@ func TestKeyGolden(t *testing.T) {
 			canon, _ := CanonicalJSON(build())
 			t.Errorf("golden key drifted:\n got %s\nwant %s\ncanonical: %s", got, want, canon)
 		}
+	}
+}
+
+// goldenFleetCoordSpec is the canonical coordinator-scenario fixture: the
+// new kind plus its Params knobs, all of which are semantic and must move
+// the content address.
+func goldenFleetCoordSpec() Spec {
+	return Spec{
+		Kind:     KindFleetCoord,
+		Name:     "rack-coord",
+		Duration: 600,
+		Fleet: &FleetSpec{
+			Size:   4,
+			Layout: []string{"cold", "mid", "hot"},
+			Seed:   1,
+			Recirc: 0.03,
+		},
+		Params: Params{"migration_gain": 0.5, "power_budget_w": 520},
+	}
+}
+
+// TestKeyFleetCoordSemanticEdits: the coordinator kind and every
+// coordinator knob are part of a cell's identity — and Workers still is
+// not.
+func TestKeyFleetCoordSemanticEdits(t *testing.T) {
+	base, err := Key(goldenFleetCoordSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := map[string]func(*Spec){
+		"kind fleet vs fleetcoord": func(s *Spec) { s.Kind = KindFleet; s.Params = nil },
+		"budget knob":              func(s *Spec) { s.Params["power_budget_w"] = 600 },
+		"migration gain knob":      func(s *Spec) { s.Params["migration_gain"] = 0.4 },
+		"new knob":                 func(s *Spec) { s.Params["rounds"] = 3 },
+		"drop knobs":               func(s *Spec) { s.Params = nil },
+		"rack recirc":              func(s *Spec) { s.Fleet.Recirc = 0.05 },
+	}
+	for name, edit := range edits {
+		s := goldenFleetCoordSpec()
+		edit(&s)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("edit %q produced an invalid spec: %v", name, err)
+		}
+		k, err := Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Errorf("edit %q did not change the key", name)
+		}
+	}
+	s := goldenFleetCoordSpec()
+	s.Workers = 5
+	if k, _ := Key(s); k != base {
+		t.Error("Workers changed the fleetcoord key")
 	}
 }
 
@@ -108,26 +164,26 @@ func TestKeyChangesOnSemanticEdits(t *testing.T) {
 		t.Fatal(err)
 	}
 	edits := map[string]func(*Spec){
-		"kind":             func(s *Spec) { s.Kind = KindBatch },
-		"name":             func(s *Spec) { s.Name = "other" },
-		"duration":         func(s *Spec) { s.Duration = 1201 },
-		"record":           func(s *Spec) { s.Record = true },
-		"record_power":     func(s *Spec) { s.RecordPower = true },
-		"base ambient":     func(s *Spec) { s.Base.Ambient = 31 },
-		"base tick":        func(s *Spec) { s.Base.Tick = 2 },
-		"job name":         func(s *Spec) { s.Jobs[0].Name = "z" },
-		"workload name":    func(s *Spec) { s.Jobs[0].Workload.Name = "square" },
-		"workload seed":    func(s *Spec) { s.Jobs[0].Workload.Seed = 43 },
-		"workload param":   func(s *Spec) { s.Jobs[0].Workload.Params["sigma"] = 0.05 },
-		"policy name":      func(s *Spec) { s.Jobs[0].Policy.Name = "none" },
-		"policy param":     func(s *Spec) { s.Jobs[1].Policy.Params["ref_temp"] = 76 },
-		"warm start":       func(s *Spec) { s.Jobs[0].WarmStart.Fan = 1300 },
-		"drop warm start":  func(s *Spec) { s.Jobs[0].WarmStart = nil },
-		"fault window":     func(s *Spec) { s.Jobs[1].Faults.StuckLen = 61 },
-		"fault rate":       func(s *Spec) { s.Jobs[1].Faults.DropoutRate = 0.2 },
-		"job order":        func(s *Spec) { s.Jobs[0], s.Jobs[1] = s.Jobs[1], s.Jobs[0] },
-		"extra job":        func(s *Spec) { s.Jobs = append(s.Jobs, s.Jobs[0]) },
-		"job config":       func(s *Spec) { c := sim.Default(); s.Jobs[0].Config = &c },
+		"kind":            func(s *Spec) { s.Kind = KindBatch },
+		"name":            func(s *Spec) { s.Name = "other" },
+		"duration":        func(s *Spec) { s.Duration = 1201 },
+		"record":          func(s *Spec) { s.Record = true },
+		"record_power":    func(s *Spec) { s.RecordPower = true },
+		"base ambient":    func(s *Spec) { s.Base.Ambient = 31 },
+		"base tick":       func(s *Spec) { s.Base.Tick = 2 },
+		"job name":        func(s *Spec) { s.Jobs[0].Name = "z" },
+		"workload name":   func(s *Spec) { s.Jobs[0].Workload.Name = "square" },
+		"workload seed":   func(s *Spec) { s.Jobs[0].Workload.Seed = 43 },
+		"workload param":  func(s *Spec) { s.Jobs[0].Workload.Params["sigma"] = 0.05 },
+		"policy name":     func(s *Spec) { s.Jobs[0].Policy.Name = "none" },
+		"policy param":    func(s *Spec) { s.Jobs[1].Policy.Params["ref_temp"] = 76 },
+		"warm start":      func(s *Spec) { s.Jobs[0].WarmStart.Fan = 1300 },
+		"drop warm start": func(s *Spec) { s.Jobs[0].WarmStart = nil },
+		"fault window":    func(s *Spec) { s.Jobs[1].Faults.StuckLen = 61 },
+		"fault rate":      func(s *Spec) { s.Jobs[1].Faults.DropoutRate = 0.2 },
+		"job order":       func(s *Spec) { s.Jobs[0], s.Jobs[1] = s.Jobs[1], s.Jobs[0] },
+		"extra job":       func(s *Spec) { s.Jobs = append(s.Jobs, s.Jobs[0]) },
+		"job config":      func(s *Spec) { c := sim.Default(); s.Jobs[0].Config = &c },
 	}
 	for name, edit := range edits {
 		s := goldenSpec()
@@ -325,5 +381,84 @@ func TestProbeTicksCountSimulation(t *testing.T) {
 	}
 	if d := ProbeSimTicks() - before; d != int64(float64(spec.Duration)/float64(units.Seconds(1))) {
 		t.Errorf("probe moved %d ticks, want %v", d, spec.Duration)
+	}
+}
+
+// TestStoreList: the inspection listing reports key, kind, name, unit
+// count and on-disk size per cell, sorted by key, including cells written
+// by other format versions.
+func TestStoreList(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos, err := st.List(); err != nil || len(infos) != 0 {
+		t.Fatalf("empty store listed %d cells (%v)", len(infos), err)
+	}
+	specs := []Spec{cheapSpec(24), cheapSpec(26)}
+	for _, s := range specs {
+		out, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(s, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("listed %d cells, want 2", len(infos))
+	}
+	wantKeys := make(map[string]bool)
+	for _, s := range specs {
+		k, _ := Key(s)
+		wantKeys[k] = true
+	}
+	for i, info := range infos {
+		if !wantKeys[info.Key] {
+			t.Errorf("cell %d: unexpected key %s", i, info.Key)
+		}
+		if info.Kind != KindSingle || info.Name != "cheap" {
+			t.Errorf("cell %d: kind/name = %q/%q", i, info.Kind, info.Name)
+		}
+		if info.Units != 1 {
+			t.Errorf("cell %d: units = %d, want 1", i, info.Units)
+		}
+		if info.Version != storeVersion {
+			t.Errorf("cell %d: version = %d", i, info.Version)
+		}
+		if info.Size <= 0 {
+			t.Errorf("cell %d: size = %d", i, info.Size)
+		}
+		if i > 0 && infos[i-1].Key >= info.Key {
+			t.Error("listing not sorted by key")
+		}
+	}
+
+	// A future-version cell still appears in the listing (with its own
+	// version) even though Get treats it as a miss.
+	path := filepath.Join(st.Dir(), infos[0].Key+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry storeEntry
+	if err := json.Unmarshal(b, &entry); err != nil {
+		t.Fatal(err)
+	}
+	entry.Version = storeVersion + 1
+	b, _ = json.Marshal(entry)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Version != storeVersion+1 {
+		t.Errorf("future-version cell mislisted: %+v", infos)
 	}
 }

@@ -47,6 +47,11 @@ type lane struct {
 	policy Policy
 	warm   *WarmPoint
 	demand []units.Utilization // precompiled schedule, one entry per tick
+	// scale multiplies the precompiled schedule at step time (results
+	// clamped to [0, 1]); 1 leaves the schedule untouched bit for bit. The
+	// fleet coordinator migrates divisible workload share between rack
+	// nodes by adjusting lane scales between relaxations.
+	scale float64
 
 	record      bool
 	recordPower bool
@@ -145,6 +150,7 @@ func NewLockstep(jobs []Job, opts BatchOptions) (*Lockstep, error) {
 		ln.name = j.Name
 		ln.server = server
 		ln.policy = j.Config.Policy
+		ln.scale = 1
 		ln.warm = j.Config.WarmStart
 		ln.record = j.Config.Record
 		ln.recordPower = j.Config.Record || j.Config.RecordPower
@@ -210,6 +216,51 @@ func (ls *Lockstep) SetPolicy(i int, p Policy) error {
 	}
 	ls.lanes[i].policy = p
 	return nil
+}
+
+// SetDemandScale multiplies lane i's precompiled demand schedule by f for
+// subsequent runs; scaled samples are clamped to [0, 1] at step time. A
+// scale of 1 restores the schedule bit for bit (the multiplication is
+// skipped entirely). The schedule itself is never modified — scaling a
+// lane whose generator is shared with other lanes affects only that lane.
+func (ls *Lockstep) SetDemandScale(i int, f float64) error {
+	if f < 0 || !units.IsFinite(f) {
+		return fmt.Errorf("sim: lockstep lane %d (%s): bad demand scale %v", i, ls.lanes[i].name, f)
+	}
+	ls.lanes[i].scale = f
+	return nil
+}
+
+// DemandScale returns lane i's current demand scale.
+func (ls *Lockstep) DemandScale(i int) float64 { return ls.lanes[i].scale }
+
+// MeanDemand returns the mean of lane i's unscaled precompiled demand
+// schedule — the divisible workload share the fleet coordinator
+// redistributes between nodes.
+func (ls *Lockstep) MeanDemand(i int) float64 {
+	ln := &ls.lanes[i]
+	if len(ln.demand) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range ln.demand {
+		sum += float64(d)
+	}
+	return sum / float64(len(ln.demand))
+}
+
+// MaxDemand returns the peak of lane i's unscaled precompiled demand
+// schedule. The coordinator bounds a node's receivable share by its peak:
+// scaling a trace whose spikes already graze full load would clamp the
+// spikes and overload the node the migration meant to help.
+func (ls *Lockstep) MaxDemand(i int) float64 {
+	peak := 0.0
+	for _, d := range ls.lanes[i].demand {
+		if float64(d) > peak {
+			peak = float64(d)
+		}
+	}
+	return peak
 }
 
 // SetRecord adjusts lane i's trace capture for subsequent runs: record
@@ -298,6 +349,12 @@ func (ls *Lockstep) reset(ln *lane) error {
 func (ls *Lockstep) step(ln *lane, k int) {
 	t := units.Seconds(float64(k) * float64(ls.tick))
 	demand := ln.demand[k]
+	if ln.scale != 1 {
+		demand = units.Utilization(float64(demand) * ln.scale)
+		if demand > 1 {
+			demand = 1
+		}
+	}
 	cmd := ln.policy.Step(Observation{
 		T:         t,
 		Measured:  ln.prev.Measured,

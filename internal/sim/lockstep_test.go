@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -378,4 +379,112 @@ func TestLockstepWarmRunNoAllocs(t *testing.T) {
 	if avg != 0 {
 		t.Errorf("warm lockstep Run allocates %v per pass, want 0", avg)
 	}
+}
+
+// TestLockstepDemandScale: a unit scale is bit-transparent, a fractional
+// scale multiplies the effective demand (clamped at full load), and the
+// precompiled schedule itself — possibly shared between lanes — is never
+// mutated, so scaling one lane cannot leak into another.
+func TestLockstepDemandScale(t *testing.T) {
+	gen := workload.Constant{U: 0.6}
+	mkJobs := func() []Job {
+		cfg := Default()
+		cfg.Ambient = 30
+		jobs := make([]Job, 2)
+		for i := range jobs {
+			jobs[i] = Job{
+				Name:   fmt.Sprintf("n%d", i),
+				Server: Factory(cfg),
+				Config: RunConfig{
+					Duration: 300,
+					Workload: gen, // shared generator: one compiled schedule
+					Policy:   &feedbackPolicy{ref: 70, gain: 15, cap: 1},
+				},
+			}
+		}
+		return jobs
+	}
+
+	base, err := RunLockstep(mkJobs(), BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := NewLockstep(mkJobs(), BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SetDemandScale(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	unit, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range unit {
+		if !reflect.DeepEqual(unit[i].Metrics, base[i].Metrics) {
+			t.Errorf("lane %d: unit scale changed the run", i)
+		}
+	}
+
+	// Scale lane 0 down: its mean demand drops by the factor; lane 1,
+	// sharing the same compiled schedule, is untouched.
+	if err := ls.SetDemandScale(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.DemandScale(0); got != 0.5 {
+		t.Fatalf("DemandScale = %v", got)
+	}
+	scaled, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(scaled[0].Metrics.MeanDemand), 0.3; !approxEq(got, want, 1e-12) {
+		t.Errorf("scaled lane mean demand %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(scaled[1].Metrics, base[1].Metrics) {
+		t.Error("scaling lane 0 leaked into lane 1")
+	}
+	if got := ls.MeanDemand(0); !approxEq(got, 0.6, 1e-12) {
+		t.Errorf("MeanDemand reports the scaled schedule: %v", got)
+	}
+
+	// Scaling past full load clamps at 1.
+	if err := ls.SetDemandScale(0, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(clamped[0].Metrics.MeanDemand); got != 1 {
+		t.Errorf("overdriven lane mean demand %v, want clamp at 1", got)
+	}
+
+	// Restore to 1: bit-identical to the unscaled run again.
+	if err := ls.SetDemandScale(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if !reflect.DeepEqual(back[i].Metrics, base[i].Metrics) {
+			t.Errorf("lane %d: scale restore not bit-transparent", i)
+		}
+	}
+
+	// Degenerate scales are rejected.
+	if err := ls.SetDemandScale(0, -0.1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if err := ls.SetDemandScale(0, math.Inf(1)); err == nil {
+		t.Error("non-finite scale accepted")
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	return d <= tol && -d <= tol
 }
