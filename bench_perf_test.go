@@ -16,6 +16,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/multicore"
 	"repro/internal/scenario"
+	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/thermal"
@@ -106,7 +107,11 @@ type tickHarness struct {
 	k      int
 }
 
-func newTickHarness(b *testing.B) *tickHarness {
+func newTickHarness(b *testing.B) *tickHarness { return newTickHarnessSensor(b, nil) }
+
+// newTickHarnessSensor builds the harness with an optional sensor-chain
+// replacement applied before the warm start (the fault-chain benchmark).
+func newTickHarnessSensor(b *testing.B, replace func(cfg sim.Config, server *sim.PhysicalServer) error) *tickHarness {
 	b.Helper()
 	cfg := sim.Default()
 	cfg.Ambient = 33
@@ -125,6 +130,11 @@ func newTickHarness(b *testing.B) *tickHarness {
 	server, err := sim.NewPhysicalServer(cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if replace != nil {
+		if err := replace(cfg, server); err != nil {
+			b.Fatal(err)
+		}
 	}
 	if err := server.WarmStart(0.1, 1200); err != nil {
 		b.Fatal(err)
@@ -162,6 +172,46 @@ func (h *tickHarness) step() {
 // warm-up. The acceptance bar is zero allocs/op.
 func BenchmarkServerTick(b *testing.B) {
 	h := newTickHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.step()
+	}
+}
+
+// BenchmarkFaultChain measures the same closed-loop tick with the full
+// non-ideal-sensing chain in the sensor path — placement offset (power
+// observation + subtraction), calibration bias, slew limiter, the clean
+// base chain, dropout, and an armed stuck-at window. The acceptance bar
+// is the same as ServerTick: zero allocs/op.
+func BenchmarkFaultChain(b *testing.B) {
+	h := newTickHarnessSensor(b, func(cfg sim.Config, server *sim.PhysicalServer) error {
+		base, err := sensor.New(cfg.Sensor)
+		if err != nil {
+			return err
+		}
+		place, err := sensor.NewPlacementOffset(0.05)
+		if err != nil {
+			return err
+		}
+		calib, err := sensor.NewCalibrationBias(4, 42)
+		if err != nil {
+			return err
+		}
+		slew, err := sensor.NewSlewLimit(0.5)
+		if err != nil {
+			return err
+		}
+		drop, err := sensor.NewDropout(0.2, 7)
+		if err != nil {
+			return err
+		}
+		stuck, err := sensor.NewStuckAt(120, 240)
+		if err != nil {
+			return err
+		}
+		return server.ReplaceSensor(sensor.NewPipeline(place, calib, slew, base, drop, stuck))
+	})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

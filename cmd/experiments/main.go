@@ -132,6 +132,13 @@ func main() {
 		scSeeds    int
 		scSeed0    int64
 		scDuration float64
+
+		fsTargets    string
+		fsTypes      string
+		fsSeverities string
+		fsDuration   float64
+		fsSeed       int64
+		fsWorkers    int
 	)
 
 	csvFlag := func(fs *flag.FlagSet) {
@@ -238,6 +245,17 @@ func main() {
 		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (optional)")
 	}, func() error {
 		return scenarioSweep(scAmbients, scSeeds, scSeed0, scDuration, storeDir)
+	})
+	newCommand("faultsweep", "graceful-degradation campaign: fault type × severity × target stack (resumable with -store)", func(fs *flag.FlagSet) {
+		fs.StringVar(&fsTargets, "targets", "single,fleet,fleetcoord", "target control stacks")
+		fs.StringVar(&fsTypes, "types", strings.Join(scenario.FaultTypes(), ","), "fault types")
+		fs.StringVar(&fsSeverities, "severities", "0.25,0.5,1", "fault severities in (0, 1]")
+		fs.Float64Var(&fsDuration, "duration", 600, "per-cell horizon in seconds")
+		fs.Int64Var(&fsSeed, "seed", 42, "campaign seed for the seeded fault stages")
+		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (optional)")
+		fs.IntVar(&fsWorkers, "workers", 0, "engine worker cap (0 = all cores; results identical)")
+	}, func() error {
+		return faultSweepCampaign(fsTargets, fsTypes, fsSeverities, fsDuration, fsSeed, storeDir, fsWorkers)
 	})
 	var storeCmd *command
 	storeCmd = newCommandArgs("store", "inspect a result store (action: ls)", func(fs *flag.FlagSet) {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -46,9 +47,14 @@ func naiveRun(t *testing.T, c Config) *Result {
 			if err != nil {
 				t.Fatal(err)
 			}
+			server := sim.Factory(cfg)
+			if n.Server != nil {
+				hook, hookCfg := n.Server, cfg
+				server = func() (*sim.PhysicalServer, error) { return hook(hookCfg) }
+			}
 			jobs[i] = sim.Job{
 				Name:   n.Name,
-				Server: sim.Factory(cfg),
+				Server: server,
 				Config: sim.RunConfig{
 					Duration:    c.Duration,
 					Workload:    gen,
@@ -109,6 +115,63 @@ func TestFixedPointMatchesNaiveRebuild(t *testing.T) {
 			got.MaxJunction != want.MaxJunction {
 			t.Errorf("RecircPasses=%d: rack aggregates differ from naive rebuild", passes)
 		}
+	}
+}
+
+// TestFixedPointFaultedServerMatchesNaiveRebuild: a node whose sensor
+// chain carries stateful non-ideal stages (power-tracking placement
+// offset, slew limiter, dropout) must relax identically whether the rack
+// holds one warm lockstep instance — stage state surviving only through
+// Reset between passes — or rebuilds every node from scratch each pass.
+// A stage whose Reset leaks state across passes diverges here.
+func TestFixedPointFaultedServerMatchesNaiveRebuild(t *testing.T) {
+	cfg := testRack(t, 4, 3)
+	cfg.RecircPasses = 2
+	cfg.Nodes[0].Server = func(c sim.Config) (*sim.PhysicalServer, error) {
+		server, err := sim.NewPhysicalServer(c)
+		if err != nil {
+			return nil, err
+		}
+		base, err := sensor.New(c.Sensor)
+		if err != nil {
+			return nil, err
+		}
+		place, err := sensor.NewPlacementOffset(0.05)
+		if err != nil {
+			return nil, err
+		}
+		slew, err := sensor.NewSlewLimit(0.5)
+		if err != nil {
+			return nil, err
+		}
+		drop, err := sensor.NewDropout(0.3, 7)
+		if err != nil {
+			return nil, err
+		}
+		if err := server.ReplaceSensor(sensor.NewPipeline(place, slew, base, drop)); err != nil {
+			return nil, err
+		}
+		return server, nil
+	}
+	want := naiveRun(t, cfg)
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Passes != want.Passes {
+		t.Fatalf("warm rewrite ran %d passes, naive %d", got.Passes, want.Passes)
+	}
+	for i := range want.Nodes {
+		if got.Nodes[i].Inlet != want.Nodes[i].Inlet {
+			t.Errorf("node %q: inlet %v != naive %v",
+				want.Nodes[i].Name, got.Nodes[i].Inlet, want.Nodes[i].Inlet)
+		}
+		if got.Nodes[i].Metrics != want.Nodes[i].Metrics {
+			t.Errorf("node %q: metrics differ from naive rebuild", want.Nodes[i].Name)
+		}
+	}
+	if got.ViolationFrac != want.ViolationFrac || got.FanEnergy != want.FanEnergy {
+		t.Errorf("rack aggregates differ from naive rebuild")
 	}
 }
 

@@ -73,6 +73,15 @@ type WorkloadFactory func(cfg sim.Config) (workload.Generator, error)
 // owns its policy state (the batch engine rejects aliased policies).
 type PolicyFactory func(cfg sim.Config) (sim.Policy, error)
 
+// ServerFactory optionally overrides a node's platform construction —
+// the hook the scenario layer uses to splice fault stages into a node's
+// sensor chain. It receives the node's resolved configuration (position
+// inlet applied) and is invoked once per Run: the warm lockstep keeps the
+// instance across relaxation passes and coordinator rounds, Reset()ing it
+// (server and sensor chain, fault stages included) between passes, so
+// every pass replays the same non-ideal chain from its initial state.
+type ServerFactory func(cfg sim.Config) (*sim.PhysicalServer, error)
+
 // NodeSpec describes one server's place in the rack.
 type NodeSpec struct {
 	// Name labels the node in results; must be unique within the rack.
@@ -89,6 +98,9 @@ type NodeSpec struct {
 	Workload WorkloadFactory
 	// Policy builds the node's DTM. Required.
 	Policy PolicyFactory
+	// Server optionally overrides platform construction (fault-injected
+	// sensor chains); nil builds the plain sim.NewPhysicalServer.
+	Server ServerFactory
 	// WarmStart optionally starts the node at a thermal operating point.
 	WarmStart *sim.WarmPoint
 }

@@ -109,9 +109,14 @@ func (c Config) buildJobs(inlets []units.Celsius) ([]sim.Job, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: node %q policy: %w", n.Name, err)
 		}
+		server := sim.Factory(cfg)
+		if n.Server != nil {
+			hook, hookCfg := n.Server, cfg
+			server = func() (*sim.PhysicalServer, error) { return hook(hookCfg) }
+		}
 		jobs[i] = sim.Job{
 			Name:   n.Name,
-			Server: sim.Factory(cfg),
+			Server: server,
 			Config: sim.RunConfig{
 				Duration:    c.Duration,
 				Workload:    gen,

@@ -1,0 +1,494 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// This file is the non-ideal-sensing campaign surface: the faultsweep
+// kind runner (one faulted cell with pathology metrics distilled from
+// per-tick traces), the severity ladder that maps (fault type, severity)
+// onto concrete FaultSpec scalars, and the FaultSweep campaign driver
+// that crosses fault type x severity x target stack into store-addressed
+// cells, compares each against its fault-free baseline, and classifies
+// the degradation as graceful, degraded, or pathological.
+
+// The faultsweep pathology metric keys. Both are distilled from the
+// recorded per-tick traces, so a cell can report latch signatures without
+// persisting the series themselves.
+const (
+	// MetricMaxViolWindow is the worst violation fraction over any
+	// pathologyWindowS-second sliding window — a sustained near-1 value is
+	// the "control gave up" signature that a run-mean violation fraction
+	// dilutes away.
+	MetricMaxViolWindow = "fault_max_viol_window"
+	// MetricLatchFrac is the fraction of the final quarter of the run
+	// spent with the fan pinned at its ceiling while the utilization cap
+	// never released — the latched state a stuck-low sensor can wedge the
+	// controller into.
+	MetricLatchFrac = "fault_latch_frac"
+)
+
+const (
+	// pathologyWindowS is the sliding-window span for MetricMaxViolWindow.
+	pathologyWindowS = 120.0
+	// latchFanEpsRPM / latchCapEps decide "fan pinned at max" and "cap not
+	// released" for MetricLatchFrac.
+	latchFanEpsRPM = 0.5
+	latchCapEps    = 1e-3
+	// violEps mirrors the engine's violation comparison tolerance.
+	violEps = 1e-9
+)
+
+func init() {
+	RegisterKind(KindFaultSweep,
+		"one non-ideal-sensing campaign cell (faulted target + pathology metrics)",
+		runFaultSweep)
+}
+
+// runFaultSweep executes the cell's target stack with recording forced
+// on, distills the pathology metrics from the traces, and strips the
+// series again unless the spec asked for them. The target engine is the
+// one the equivalent plain spec would use, so a faultsweep cell differs
+// from its baseline only by the injected fault chain.
+func runFaultSweep(s Spec) (*Outcome, error) {
+	inner := s
+	inner.Record = true
+	var cfgs []sim.Config
+	if len(s.Jobs) > 0 {
+		inner.Kind = KindBatch
+		inner.Params = nil
+		for _, j := range s.Jobs {
+			cfg := s.base()
+			if j.Config != nil {
+				cfg = *j.Config
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	} else {
+		if _, ok := s.Params["coordinated"]; ok {
+			inner.Kind = KindFleetCoord
+			var p Params
+			for k, v := range s.Params {
+				if k == "coordinated" {
+					continue
+				}
+				if p == nil {
+					p = Params{}
+				}
+				p[k] = v
+			}
+			inner.Params = p
+		} else {
+			inner.Kind = KindFleet
+			inner.Params = nil
+		}
+		for _, n := range s.Fleet.Nodes {
+			cfg := s.base()
+			if n.Config != nil {
+				cfg = *n.Config
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	runner, ok := kindRunner(inner.Kind)
+	if !ok {
+		return nil, fmt.Errorf("scenario: faultsweep target kind %q not registered", inner.Kind)
+	}
+	out, err := runner(inner)
+	if err != nil {
+		return nil, err
+	}
+	out.Kind = KindFaultSweep
+	if out.Aggregate == nil {
+		out.Aggregate = make(map[string]float64)
+	}
+	var maxWindow, maxLatch float64
+	for i := range out.Units {
+		u := &out.Units[i]
+		window, latch, err := pathologyMetrics(u, cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: faultsweep unit %q: %w", u.Name, err)
+		}
+		u.Metrics[MetricMaxViolWindow] = window
+		u.Metrics[MetricLatchFrac] = latch
+		maxWindow = max(maxWindow, window)
+		maxLatch = max(maxLatch, latch)
+		if !s.Record {
+			u.Series = nil
+		}
+	}
+	out.Aggregate[MetricMaxViolWindow] = maxWindow
+	out.Aggregate[MetricLatchFrac] = maxLatch
+	return out, nil
+}
+
+// pathologyMetrics distills one unit's recorded traces into the two
+// latch-signature metrics. cfg is the unit's platform (for the fan
+// ceiling).
+func pathologyMetrics(u *Unit, cfg sim.Config) (maxViolWindow, latchFrac float64, err error) {
+	demand := u.FindSeries("demand")
+	delivered := u.FindSeries("delivered")
+	fan := u.FindSeries("fan_actual")
+	capacity := u.FindSeries("cap")
+	if demand == nil || delivered == nil || fan == nil || capacity == nil {
+		return 0, 0, fmt.Errorf("missing recorded series (need demand/delivered/fan_actual/cap, have %d series)", len(u.Series))
+	}
+	n := len(demand.T)
+	if len(delivered.V) != n || len(fan.V) != n || len(capacity.V) != n {
+		return 0, 0, fmt.Errorf("series length mismatch (%d/%d/%d/%d)",
+			n, len(delivered.V), len(fan.V), len(capacity.V))
+	}
+	if n == 0 {
+		return 0, 0, nil
+	}
+
+	// Worst violation fraction over any pathologyWindowS-second sliding
+	// window, two-pointer over the shared time base.
+	violations := 0
+	lo := 0
+	for hi := 0; hi < n; hi++ {
+		if delivered.V[hi] < demand.V[hi]-violEps {
+			violations++
+		}
+		for demand.T[hi]-demand.T[lo] > pathologyWindowS {
+			if delivered.V[lo] < demand.V[lo]-violEps {
+				violations--
+			}
+			lo++
+		}
+		maxViolWindow = max(maxViolWindow, float64(violations)/float64(hi-lo+1))
+	}
+
+	// Latched-state fraction over the final quarter: fan pinned at the
+	// ceiling while the cap never releases.
+	fanCeil := float64(cfg.FanMaxSpeed) - latchFanEpsRPM
+	start := n - n/4
+	if start >= n {
+		start = n - 1
+	}
+	latched := 0
+	for k := start; k < n; k++ {
+		if fan.V[k] >= fanCeil && capacity.V[k] < 1-latchCapEps {
+			latched++
+		}
+	}
+	latchFrac = float64(latched) / float64(n-start)
+	return maxViolWindow, latchFrac, nil
+}
+
+// The campaign fault types. Each maps a unitless severity in (0, 1] onto
+// one stage of the FaultSpec chain (see FaultSpecFor).
+const (
+	FaultStuck       = "stuck"
+	FaultDropout     = "dropout"
+	FaultPlacement   = "placement"
+	FaultCalibration = "calibration"
+	FaultSlew        = "slew"
+)
+
+// FaultTypes returns the campaign fault type names in severity-ladder
+// order.
+func FaultTypes() []string {
+	return []string{FaultStuck, FaultDropout, FaultPlacement, FaultCalibration, FaultSlew}
+}
+
+// FaultSpecFor maps (fault type, severity) onto concrete FaultSpec
+// scalars for a run of the given duration. Severity is unitless in
+// (0, 1]: 1 is the worst the ladder injects — a stuck window covering
+// half the run, a 90% dropout rate, an 8 degC calibration sigma, a
+// 0.1 degC/W placement error, a 0.02 degC/s slew floor. seed decorrelates
+// the seeded stages (dropout pattern, calibration draw) between
+// campaigns while keeping every cell reproducible.
+func FaultSpecFor(faultType string, severity float64, duration units.Seconds, seed int64) (*FaultSpec, error) {
+	if !(severity > 0 && severity <= 1) {
+		return nil, fmt.Errorf("scenario: fault severity %v outside (0, 1]", severity)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("scenario: non-positive fault duration %v", duration)
+	}
+	switch faultType {
+	case FaultStuck:
+		return &FaultSpec{
+			StuckAt:  duration / 4,
+			StuckLen: units.Seconds(severity * 0.5 * float64(duration)),
+		}, nil
+	case FaultDropout:
+		return &FaultSpec{
+			DropoutRate: 0.9 * severity,
+			DropoutSeed: stats.SubSeed(seed, 1),
+		}, nil
+	case FaultPlacement:
+		return &FaultSpec{PlacementCoeff: 0.1 * severity}, nil
+	case FaultCalibration:
+		return &FaultSpec{
+			CalibSigma: 8 * severity,
+			CalibSeed:  stats.SubSeed(seed, 2),
+		}, nil
+	case FaultSlew:
+		return &FaultSpec{SlewLimitCPerS: 0.02 / severity}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown fault type %q (known: %v)", faultType, FaultTypes())
+}
+
+// FaultTarget is one control stack a campaign stresses: a fault-free
+// baseline spec of an existing kind (single/batch/lockstep jobs, or an
+// explicit-node fleet/fleetcoord rack).
+type FaultTarget struct {
+	Name string
+	Spec Spec
+}
+
+// FaultCampaign crosses fault types x severities x targets into a grid of
+// faultsweep cells plus one fault-free baseline per target.
+type FaultCampaign struct {
+	Targets    []FaultTarget
+	Types      []string
+	Severities []float64
+	// Seed decorrelates the seeded fault stages between campaigns.
+	Seed int64
+}
+
+// Verdict is the graceful-degradation classification of one cell.
+type Verdict string
+
+const (
+	// VerdictGraceful: the faulted stack stays within the degradation
+	// thresholds of its fault-free baseline.
+	VerdictGraceful Verdict = "graceful"
+	// VerdictDegraded: measurably worse than baseline, but the control
+	// loop still functions.
+	VerdictDegraded Verdict = "degraded"
+	// VerdictPathological: a latch signature — sustained near-total
+	// violation windows, or the fan pinned at max while caps never
+	// release.
+	VerdictPathological Verdict = "pathological"
+)
+
+// The classification thresholds. Pathology is judged on the cell's own
+// latch signatures; degradation on the deltas against its baseline.
+const (
+	pathologicalViolWindow = 0.95
+	pathologicalLatchFrac  = 0.95
+	degradedDViolation     = 0.02
+	degradedDFanEnergyRel  = 0.05
+	degradedDTimeAboveS    = 5.0
+)
+
+// Degradation is one cell's damage report against its fault-free
+// baseline, plus the cell's own latch-signature metrics.
+type Degradation struct {
+	// DViolationFrac / DFanEnergyJ / DTimeAboveS are faulted minus
+	// baseline headline metrics.
+	DViolationFrac float64 `json:"d_violation_frac"`
+	DFanEnergyJ    float64 `json:"d_fan_energy_j"`
+	DTimeAboveS    float64 `json:"d_time_above_limit_s"`
+	// DFanEnergyRel is DFanEnergyJ over the baseline fan energy (0 when
+	// the baseline spent none).
+	DFanEnergyRel float64 `json:"d_fan_energy_rel"`
+	// MaxViolWindow / LatchFrac echo the cell's pathology metrics.
+	MaxViolWindow float64 `json:"max_viol_window"`
+	LatchFrac     float64 `json:"latch_frac"`
+}
+
+// Classify maps a damage report onto the three-way verdict.
+func Classify(d Degradation) Verdict {
+	if d.MaxViolWindow >= pathologicalViolWindow || d.LatchFrac >= pathologicalLatchFrac {
+		return VerdictPathological
+	}
+	if d.DViolationFrac > degradedDViolation ||
+		d.DFanEnergyRel > degradedDFanEnergyRel ||
+		d.DTimeAboveS > degradedDTimeAboveS {
+		return VerdictDegraded
+	}
+	return VerdictGraceful
+}
+
+// FaultCell is one campaign grid point: the faulted cell, its store
+// accounting, and the classified damage against the target's baseline.
+type FaultCell struct {
+	Target      string
+	Type        string
+	Severity    float64
+	Key         string
+	Cached      bool
+	Outcome     *Outcome
+	Degradation Degradation
+	Verdict     Verdict
+}
+
+// FaultSweepResult bundles the campaign's baselines, classified cells,
+// and cache accounting (baselines included).
+type FaultSweepResult struct {
+	// Baselines are the fault-free target runs, in target order.
+	Baselines []SweepCell
+	// Cells are the faulted grid points, target-major then type then
+	// severity, matching the campaign declaration order.
+	Cells  []FaultCell
+	Hits   int
+	Misses int
+}
+
+// FaultCellSpec derives the faultsweep spec for one grid point: the
+// target's spec with the fault chain injected into its first job or
+// first node (one bad sensor in an otherwise healthy stack — the rack
+// case shows whether recirculation and the coordinator spread or contain
+// the damage). The returned spec's store key is independent of the
+// baseline's, while every fault-free spec keeps its existing-kind key.
+func FaultCellSpec(t FaultTarget, faultType string, severity float64, seed int64) (Spec, error) {
+	f, err := FaultSpecFor(faultType, severity, t.Spec.Duration, seed)
+	if err != nil {
+		return Spec{}, err
+	}
+	s := t.Spec
+	s.Kind = KindFaultSweep
+	s.Name = fmt.Sprintf("%s/%s@%g", t.Name, faultType, severity)
+	switch t.Spec.Kind {
+	case KindSingle, KindBatch, KindLockstep:
+		if len(s.Jobs) == 0 {
+			return Spec{}, fmt.Errorf("scenario: fault target %q has no jobs", t.Name)
+		}
+		jobs := append([]JobSpec(nil), s.Jobs...)
+		jobs[0].Faults = f
+		s.Jobs = jobs
+	case KindFleet, KindFleetCoord:
+		if s.Fleet == nil || len(s.Fleet.Nodes) == 0 {
+			return Spec{}, fmt.Errorf("scenario: fault target %q needs explicit fleet nodes", t.Name)
+		}
+		fl := *s.Fleet
+		fl.Nodes = append([]FleetNode(nil), fl.Nodes...)
+		fl.Nodes[0].Faults = f
+		s.Fleet = &fl
+		if t.Spec.Kind == KindFleetCoord {
+			p := Params{"coordinated": 1}
+			for k, v := range t.Spec.Params {
+				p[k] = v
+			}
+			s.Params = p
+		}
+	default:
+		return Spec{}, fmt.Errorf("scenario: fault target %q has unsupported kind %q", t.Name, t.Spec.Kind)
+	}
+	return s, nil
+}
+
+// FaultSweep runs the campaign with store-backed resume: baselines first,
+// then every faulted cell, each looked up by content hash before
+// executing (killing a campaign loses at most the in-flight cell; the
+// rerun simulates zero ticks for finished cells). Every cell is then
+// compared against its target's baseline and classified.
+func FaultSweep(c FaultCampaign, store *Store) (*FaultSweepResult, error) {
+	if len(c.Targets) == 0 || len(c.Types) == 0 || len(c.Severities) == 0 {
+		return nil, fmt.Errorf("scenario: fault campaign needs targets, types and severities")
+	}
+	specs := make([]Spec, 0, len(c.Targets)*(1+len(c.Types)*len(c.Severities)))
+	for _, t := range c.Targets {
+		if err := t.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: fault target %q: %w", t.Name, err)
+		}
+		if faulted(t.Spec) {
+			return nil, fmt.Errorf("scenario: fault target %q already carries faults (baselines must be fault-free)", t.Name)
+		}
+		specs = append(specs, t.Spec)
+	}
+	type cellMeta struct {
+		target   string
+		typ      string
+		severity float64
+	}
+	metas := make([]cellMeta, 0, len(c.Targets)*len(c.Types)*len(c.Severities))
+	for _, t := range c.Targets {
+		for _, typ := range c.Types {
+			for _, sev := range c.Severities {
+				cell, err := FaultCellSpec(t, typ, sev, c.Seed)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, cell)
+				metas = append(metas, cellMeta{t.Name, typ, sev})
+			}
+		}
+	}
+	sw, err := Sweep(specs, store)
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultSweepResult{
+		Baselines: sw.Cells[:len(c.Targets)],
+		Cells:     make([]FaultCell, len(metas)),
+		Hits:      sw.Hits,
+		Misses:    sw.Misses,
+	}
+	baseline := make(map[string]*Outcome, len(c.Targets))
+	for i, t := range c.Targets {
+		baseline[t.Name] = res.Baselines[i].Outcome
+	}
+	for i, m := range metas {
+		cell := sw.Cells[len(c.Targets)+i]
+		bViol, bFanE, bAbove := HeadlineMetrics(baseline[m.target])
+		viol, fanE, above := HeadlineMetrics(cell.Outcome)
+		d := Degradation{
+			DViolationFrac: viol - bViol,
+			DFanEnergyJ:    fanE - bFanE,
+			DTimeAboveS:    above - bAbove,
+			MaxViolWindow:  cell.Outcome.Aggregate[MetricMaxViolWindow],
+			LatchFrac:      cell.Outcome.Aggregate[MetricLatchFrac],
+		}
+		if bFanE > 0 {
+			d.DFanEnergyRel = d.DFanEnergyJ / bFanE
+		}
+		res.Cells[i] = FaultCell{
+			Target:      m.target,
+			Type:        m.typ,
+			Severity:    m.severity,
+			Key:         cell.Key,
+			Cached:      cell.Cached,
+			Outcome:     cell.Outcome,
+			Degradation: d,
+			Verdict:     Classify(d),
+		}
+	}
+	return res, nil
+}
+
+// faulted reports whether any job or node of the spec carries a fault
+// block.
+func faulted(s Spec) bool {
+	for i := range s.Jobs {
+		if s.Jobs[i].Faults != nil {
+			return true
+		}
+	}
+	if s.Fleet != nil {
+		for i := range s.Fleet.Nodes {
+			if s.Fleet.Nodes[i].Faults != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HeadlineMetrics extracts the campaign's comparison triple (violation
+// fraction, fan energy, time above limit) from an outcome: the rack-level
+// aggregate when the kind has one (for fleetcoord that is the coordinated
+// rack, not the local baseline), the mean across units otherwise.
+func HeadlineMetrics(o *Outcome) (viol, fanE, above float64) {
+	if v, ok := o.Aggregate[MetricViolationFrac]; ok {
+		return v, o.Aggregate[MetricFanEnergyJ], o.Aggregate[MetricTimeAboveS]
+	}
+	if len(o.Units) == 0 {
+		return 0, 0, 0
+	}
+	for i := range o.Units {
+		u := &o.Units[i]
+		viol += u.Metric(MetricViolationFrac, 0)
+		fanE += u.Metric(MetricFanEnergyJ, 0)
+		above += u.Metric(MetricTimeAboveS, 0)
+	}
+	n := float64(len(o.Units))
+	return viol / n, fanE / n, above / n
+}

@@ -63,42 +63,72 @@ func init() {
 	RegisterKind(KindMulticore, "three-controller N-core run (multicore.Run)", runMulticore)
 }
 
+// faultServer builds a platform whose sensor chain carries the declarative
+// fault stages: silicon-side error sources (placement offset, calibration
+// bias, slew limit) feed the clean base chain (noise -> ADC -> transport
+// delay), whose output crosses the transport faults (dropout, stuck). Both
+// the sim-kind serverFactory and the fleet node hook route through it.
+func faultServer(cfg sim.Config, spec FaultSpec) (*sim.PhysicalServer, error) {
+	server, err := sim.NewPhysicalServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, err := sensor.New(cfg.Sensor)
+	if err != nil {
+		return nil, err
+	}
+	var stages []sensor.Stage
+	if spec.PlacementCoeff > 0 {
+		place, err := sensor.NewPlacementOffset(spec.PlacementCoeff)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, place)
+	}
+	if spec.CalibSigma > 0 {
+		calib, err := sensor.NewCalibrationBias(spec.CalibSigma, spec.CalibSeed)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, calib)
+	}
+	if spec.SlewLimitCPerS > 0 {
+		slew, err := sensor.NewSlewLimit(spec.SlewLimitCPerS)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, slew)
+	}
+	stages = append(stages, base)
+	if spec.DropoutRate > 0 {
+		drop, err := sensor.NewDropout(spec.DropoutRate, spec.DropoutSeed)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, drop)
+	}
+	if spec.StuckLen > 0 {
+		stuck, err := sensor.NewStuckAt(spec.StuckAt, spec.StuckAt+spec.StuckLen)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, stuck)
+	}
+	if err := server.ReplaceSensor(sensor.NewPipeline(stages...)); err != nil {
+		return nil, err
+	}
+	return server, nil
+}
+
 // serverFactory builds the job's platform factory, wiring the declarative
-// fault chain (clean physical chain feeding a wedged/congested transport)
-// when the spec asks for it.
+// fault chain when the spec asks for it.
 func serverFactory(cfg sim.Config, f *FaultSpec) sim.ServerFactory {
 	if !f.enabled() {
 		return sim.Factory(cfg)
 	}
 	spec := *f
 	return func() (*sim.PhysicalServer, error) {
-		server, err := sim.NewPhysicalServer(cfg)
-		if err != nil {
-			return nil, err
-		}
-		base, err := sensor.New(cfg.Sensor)
-		if err != nil {
-			return nil, err
-		}
-		stages := []sensor.Stage{base}
-		if spec.DropoutRate > 0 {
-			drop, err := sensor.NewDropout(spec.DropoutRate, spec.DropoutSeed)
-			if err != nil {
-				return nil, err
-			}
-			stages = append(stages, drop)
-		}
-		if spec.StuckLen > 0 {
-			stuck, err := sensor.NewStuckAt(spec.StuckAt, spec.StuckAt+spec.StuckLen)
-			if err != nil {
-				return nil, err
-			}
-			stages = append(stages, stuck)
-		}
-		if err := server.ReplaceSensor(sensor.NewPipeline(stages...)); err != nil {
-			return nil, err
-		}
-		return server, nil
+		return faultServer(cfg, spec)
 	}
 }
 
@@ -286,6 +316,12 @@ func (s *Spec) fleetConfig() (fleet.Config, error) {
 					return buildPolicy(pref, c)
 				},
 				WarmStart: n.WarmStart,
+			}
+			if n.Faults.enabled() {
+				fspec := *n.Faults
+				cfg.Nodes[i].Server = func(c sim.Config) (*sim.PhysicalServer, error) {
+					return faultServer(c, fspec)
+				}
 			}
 		}
 		cfg.Supply = 24

@@ -58,6 +58,16 @@ const (
 	// KindMulticore runs the three-controller N-core scenario through
 	// multicore.Run.
 	KindMulticore = "multicore"
+	// KindFaultSweep is one cell of a non-ideal-sensing campaign: the spec
+	// carries exactly one target stack — a Jobs list (batch engine) or an
+	// explicit-node Fleet block (fleet engine; coordinated when
+	// Params["coordinated"] is 1) — with at least one enabled FaultSpec.
+	// The runner executes the target with recording forced on, folds the
+	// per-tick traces into pathology metrics (MetricMaxViolWindow,
+	// MetricLatchFrac), and strips the series again unless the spec asks
+	// for them, so a cell stays store-light. Fault-free baselines are plain
+	// existing-kind specs — their store keys do not change.
+	KindFaultSweep = "faultsweep"
 )
 
 // Params carries a factory's scalar parameters. Values are float64 —
@@ -96,10 +106,15 @@ type FactoryRef struct {
 	Params Params `json:"params,omitempty"`
 }
 
-// FaultSpec declaratively describes the telemetry fault chain injected on
-// the firmware side of a job's sensor path: a stuck interval plus a
-// sustained dropout rate (the internal/experiments robustness scenario).
-// The zero value injects nothing.
+// FaultSpec declaratively describes the non-ideal-sensing chain injected
+// into a job's or fleet node's sensor path. Two groups of stages compose:
+// silicon-side error sources measured by Rotem et al. (placement offset
+// growing with instantaneous power, fixed calibration bias, slew-limited
+// tracking) applied before the ADC/transport chain, and transport-side
+// faults (a stuck interval plus a sustained dropout rate) applied after
+// it. The zero value injects nothing; every field participates in the
+// store identity hash, so Validate rejects fields that would hash without
+// shaping the run (see validate).
 type FaultSpec struct {
 	// StuckAt / StuckLen wedge the sensor output from StuckAt for
 	// StuckLen seconds. StuckLen <= 0 disables the stuck stage.
@@ -109,11 +124,69 @@ type FaultSpec struct {
 	// DropoutSeed decides which ones. Rate 0 disables the stage.
 	DropoutRate float64 `json:"dropout_rate,omitempty"`
 	DropoutSeed int64   `json:"dropout_seed,omitempty"`
+	// PlacementCoeff makes the sensor read low by Coeff x instantaneous
+	// CPU power (degC/W) — the sensor-to-hotspot placement error. 0
+	// disables the stage.
+	PlacementCoeff float64 `json:"placement_coeff,omitempty"`
+	// CalibSigma draws a fixed per-sensor calibration offset from
+	// N(0, sigma^2) seeded by CalibSeed (via stats.SubSeed). 0 disables
+	// the stage.
+	CalibSigma float64 `json:"calib_sigma,omitempty"`
+	CalibSeed  int64   `json:"calib_seed,omitempty"`
+	// SlewLimitCPerS bounds how fast the reported temperature can move
+	// (degC/s); fast transients are under-reported until the reading
+	// catches up. 0 disables the stage.
+	SlewLimitCPerS float64 `json:"slew_limit_c_per_s,omitempty"`
 }
 
 // enabled reports whether the spec injects any fault stage.
 func (f *FaultSpec) enabled() bool {
-	return f != nil && (f.StuckLen > 0 || f.DropoutRate > 0)
+	return f != nil && (f.StuckLen > 0 || f.DropoutRate > 0 ||
+		f.PlacementCoeff > 0 || f.CalibSigma > 0 || f.SlewLimitCPerS > 0)
+}
+
+// validate rejects fault blocks that would either simulate garbage
+// (out-of-range or non-finite fields) or perturb the content hash without
+// shaping the run (inert blocks — the same cell-splitting hazard as a
+// populated block a kind ignores). Called on every non-nil FaultSpec.
+func (f *FaultSpec) validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"stuck_at", float64(f.StuckAt)},
+		{"stuck_len", float64(f.StuckLen)},
+		{"dropout_rate", f.DropoutRate},
+		{"placement_coeff", f.PlacementCoeff},
+		{"calib_sigma", f.CalibSigma},
+		{"slew_limit_c_per_s", f.SlewLimitCPerS},
+	} {
+		if !units.IsFinite(c.v) {
+			return fmt.Errorf("non-finite %s %v", c.name, c.v)
+		}
+		if c.v < 0 {
+			return fmt.Errorf("negative %s %v", c.name, c.v)
+		}
+	}
+	if f.DropoutRate >= 1 {
+		return fmt.Errorf("dropout_rate %v outside [0, 1)", f.DropoutRate)
+	}
+	if !f.enabled() {
+		return fmt.Errorf("inert fault block (no stage enabled; drop the Faults field instead — it would split the store cell)")
+	}
+	// Per-stage inert fields: set, hashed, but the stage they parameterize
+	// is disabled, so two semantically identical scenarios would occupy
+	// different store cells.
+	if f.StuckAt != 0 && f.StuckLen <= 0 {
+		return fmt.Errorf("inert stuck_at %v (stuck_len is 0, the stuck stage is disabled)", f.StuckAt)
+	}
+	if f.DropoutSeed != 0 && f.DropoutRate == 0 {
+		return fmt.Errorf("inert dropout_seed %d (dropout_rate is 0, the dropout stage is disabled)", f.DropoutSeed)
+	}
+	if f.CalibSeed != 0 && f.CalibSigma == 0 {
+		return fmt.Errorf("inert calib_seed %d (calib_sigma is 0, the calibration stage is disabled)", f.CalibSeed)
+	}
+	return nil
 }
 
 // JobSpec is one independent closed-loop run within a single/batch/
@@ -148,6 +221,11 @@ type FleetNode struct {
 	Policy   FactoryRef `json:"policy"`
 	// WarmStart optionally starts the node at a thermal operating point.
 	WarmStart *sim.WarmPoint `json:"warm_start,omitempty"`
+	// Faults optionally injects the non-ideal-sensing chain into this
+	// node's sensor path. The faulted chain persists across recirculation
+	// relaxation passes and coordinator rounds (the warm lockstep resets
+	// stage state between passes, so every pass replays the same fault).
+	Faults *FaultSpec `json:"faults,omitempty"`
 }
 
 // FleetSpec describes a rack scenario: either a generated heterogeneous
@@ -271,6 +349,13 @@ func (s *Spec) Validate() error {
 		if len(s.Jobs) > 0 || s.Fleet != nil || len(s.Params) > 0 {
 			return fmt.Errorf("scenario: multicore spec carries blocks its kind ignores (jobs/fleet/params)")
 		}
+	case KindFaultSweep:
+		if s.Multicore != nil {
+			return fmt.Errorf("scenario: faultsweep spec carries a multicore block")
+		}
+		if err := s.validateFaultSweepParams(); err != nil {
+			return err
+		}
 	}
 	switch s.Kind {
 	case KindSingle, KindBatch, KindLockstep:
@@ -283,13 +368,8 @@ func (s *Spec) Validate() error {
 		if s.Duration <= 0 {
 			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
 		}
-		for i, j := range s.Jobs {
-			if err := checkRef(j.Workload, LookupWorkload); err != nil {
-				return fmt.Errorf("scenario: job %d (%s) workload: %w", i, j.Name, err)
-			}
-			if err := checkRef(j.Policy, LookupPolicy); err != nil {
-				return fmt.Errorf("scenario: job %d (%s) policy: %w", i, j.Name, err)
-			}
+		if err := s.validateJobList(); err != nil {
+			return err
 		}
 	case KindFleet, KindFleetCoord:
 		if s.Fleet == nil {
@@ -298,26 +378,40 @@ func (s *Spec) Validate() error {
 		if s.Duration <= 0 {
 			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
 		}
-		if s.Fleet.Size > 0 && len(s.Fleet.Nodes) > 0 {
-			return fmt.Errorf("scenario: fleet spec sets both Size and Nodes")
+		if err := s.validateFleetBlock(); err != nil {
+			return err
 		}
-		if s.Fleet.Size == 0 && len(s.Fleet.Nodes) == 0 {
-			return fmt.Errorf("scenario: fleet spec has neither Size nor Nodes")
+	case KindFaultSweep:
+		if (len(s.Jobs) > 0) == (s.Fleet != nil) {
+			return fmt.Errorf("scenario: faultsweep spec needs exactly one target block (jobs or fleet)")
 		}
-		for i, n := range s.Fleet.Nodes {
-			if _, err := parseAisle(n.Aisle); err != nil {
-				return fmt.Errorf("scenario: fleet node %d (%s): %w", i, n.Name, err)
-			}
-			if err := checkRef(n.Workload, LookupWorkload); err != nil {
-				return fmt.Errorf("scenario: fleet node %d (%s) workload: %w", i, n.Name, err)
-			}
-			if err := checkRef(n.Policy, LookupPolicy); err != nil {
-				return fmt.Errorf("scenario: fleet node %d (%s) policy: %w", i, n.Name, err)
-			}
+		if s.Duration <= 0 {
+			return fmt.Errorf("scenario: non-positive duration %v", s.Duration)
 		}
-		for _, a := range s.Fleet.Layout {
-			if _, err := parseAisle(a); err != nil {
-				return fmt.Errorf("scenario: fleet layout: %w", err)
+		if len(s.Jobs) > 0 {
+			if err := s.validateJobList(); err != nil {
+				return err
+			}
+			ok := false
+			for i := range s.Jobs {
+				ok = ok || s.Jobs[i].Faults.enabled()
+			}
+			if !ok {
+				return fmt.Errorf("scenario: faultsweep spec has no faulted job (fault-free cells are plain %s specs)", KindBatch)
+			}
+		} else {
+			if s.Fleet.Size > 0 {
+				return fmt.Errorf("scenario: faultsweep fleet target needs explicit nodes (generated racks cannot carry per-node faults)")
+			}
+			if err := s.validateFleetBlock(); err != nil {
+				return err
+			}
+			ok := false
+			for i := range s.Fleet.Nodes {
+				ok = ok || s.Fleet.Nodes[i].Faults.enabled()
+			}
+			if !ok {
+				return fmt.Errorf("scenario: faultsweep spec has no faulted node (fault-free cells are plain %s specs)", KindFleet)
 			}
 		}
 	case KindMulticore:
@@ -330,6 +424,91 @@ func (s *Spec) Validate() error {
 		if err := checkRef(s.Multicore.Workload, LookupWorkload); err != nil {
 			return fmt.Errorf("scenario: multicore workload: %w", err)
 		}
+	}
+	return nil
+}
+
+// validateJobList runs the per-job structural checks shared by the sim
+// kinds and the faultsweep target form.
+func (s *Spec) validateJobList() error {
+	for i, j := range s.Jobs {
+		if err := checkRef(j.Workload, LookupWorkload); err != nil {
+			return fmt.Errorf("scenario: job %d (%s) workload: %w", i, j.Name, err)
+		}
+		if err := checkRef(j.Policy, LookupPolicy); err != nil {
+			return fmt.Errorf("scenario: job %d (%s) policy: %w", i, j.Name, err)
+		}
+		if j.Faults != nil {
+			if err := j.Faults.validate(); err != nil {
+				return fmt.Errorf("scenario: job %d (%s) faults: %w", i, j.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validateFleetBlock runs the fleet-block structural checks shared by the
+// fleet kinds and the faultsweep target form.
+func (s *Spec) validateFleetBlock() error {
+	if s.Fleet.Size > 0 && len(s.Fleet.Nodes) > 0 {
+		return fmt.Errorf("scenario: fleet spec sets both Size and Nodes")
+	}
+	if s.Fleet.Size == 0 && len(s.Fleet.Nodes) == 0 {
+		return fmt.Errorf("scenario: fleet spec has neither Size nor Nodes")
+	}
+	for i, n := range s.Fleet.Nodes {
+		if _, err := parseAisle(n.Aisle); err != nil {
+			return fmt.Errorf("scenario: fleet node %d (%s): %w", i, n.Name, err)
+		}
+		if err := checkRef(n.Workload, LookupWorkload); err != nil {
+			return fmt.Errorf("scenario: fleet node %d (%s) workload: %w", i, n.Name, err)
+		}
+		if err := checkRef(n.Policy, LookupPolicy); err != nil {
+			return fmt.Errorf("scenario: fleet node %d (%s) policy: %w", i, n.Name, err)
+		}
+		if n.Faults != nil {
+			if err := n.Faults.validate(); err != nil {
+				return fmt.Errorf("scenario: fleet node %d (%s) faults: %w", i, n.Name, err)
+			}
+		}
+	}
+	for _, a := range s.Fleet.Layout {
+		if _, err := parseAisle(a); err != nil {
+			return fmt.Errorf("scenario: fleet layout: %w", err)
+		}
+	}
+	return nil
+}
+
+// validateFaultSweepParams enforces the closed faultsweep knob set:
+// "coordinated" (exactly 1; omit it for uncoordinated targets — 0 would
+// split the store cell without changing the run) selects the coordinator
+// engine and unlocks the fleetcoord knobs, which are meaningless — hence
+// rejected — for job targets and uncoordinated racks.
+func (s *Spec) validateFaultSweepParams() error {
+	coordinated := false
+	if v, ok := s.Params["coordinated"]; ok {
+		if v != 1 {
+			return fmt.Errorf("scenario: faultsweep coordinated = %v (must be 1; omit the key for an uncoordinated target)", v)
+		}
+		coordinated = true
+		if s.Fleet == nil {
+			return fmt.Errorf("scenario: coordinated faultsweep needs a fleet target")
+		}
+	}
+	for _, k := range s.Params.Keys() {
+		if k == "coordinated" {
+			continue
+		}
+		if !fleetCoordParams[k] {
+			return fmt.Errorf("scenario: faultsweep spec has unknown param %q (known: coordinated + %v)", k, FleetCoordParams())
+		}
+		if !coordinated {
+			return fmt.Errorf("scenario: faultsweep param %q needs coordinated = 1 (inert otherwise, and it would split the store cell)", k)
+		}
+	}
+	if rounds, ok := s.Params["rounds"]; ok && rounds != float64(int(rounds)) {
+		return fmt.Errorf("scenario: faultsweep rounds %v is not an integer", rounds)
 	}
 	return nil
 }

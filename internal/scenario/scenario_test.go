@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/fleet"
@@ -94,6 +95,64 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 	good := cheapSpec(25)
 	if err := good.Validate(); err != nil {
 		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+// TestValidateRejectsBadFaults: out-of-range severities and inert fault
+// blocks (populated but ignored at run time) must be rejected, whether
+// the block hangs off a job or a fleet node.
+func TestValidateRejectsBadFaults(t *testing.T) {
+	nan := math.NaN()
+	bad := []struct {
+		name string
+		f    FaultSpec
+	}{
+		{"dropout rate one", FaultSpec{DropoutRate: 1.0}},
+		{"dropout rate negative", FaultSpec{DropoutRate: -0.1}},
+		{"negative stuck_at", FaultSpec{StuckAt: -5, StuckLen: 10}},
+		{"negative stuck_len", FaultSpec{StuckAt: 5, StuckLen: -10}},
+		{"nan placement", FaultSpec{PlacementCoeff: nan}},
+		{"negative placement", FaultSpec{PlacementCoeff: -0.1}},
+		{"nan calib sigma", FaultSpec{CalibSigma: nan}},
+		{"negative calib sigma", FaultSpec{CalibSigma: -1}},
+		{"nan slew", FaultSpec{SlewLimitCPerS: nan}},
+		{"negative slew", FaultSpec{SlewLimitCPerS: -0.1}},
+		{"inert all-zero block", FaultSpec{}},
+		{"inert stuck without window", FaultSpec{StuckAt: 100}},
+		{"inert dropout seed only", FaultSpec{DropoutSeed: 7}},
+		{"inert calib seed only", FaultSpec{CalibSeed: 7}},
+	}
+	for _, tc := range bad {
+		f := tc.f
+		js := cheapSpec(25)
+		js.Jobs[0].Faults = &f
+		if err := js.Validate(); err == nil {
+			t.Errorf("job %s: accepted", tc.name)
+		}
+		fs := Spec{Kind: KindFleet, Duration: 10, Fleet: &FleetSpec{
+			Nodes: []FleetNode{{
+				Name: "a", Aisle: "cold",
+				Workload: FactoryRef{Name: "constant"},
+				Policy:   FactoryRef{Name: "full"},
+				Faults:   &f,
+			}},
+		}}
+		if err := fs.Validate(); err == nil {
+			t.Errorf("fleet node %s: accepted", tc.name)
+		}
+	}
+	// Each new stage alone makes a valid, non-inert block.
+	for _, f := range []FaultSpec{
+		{PlacementCoeff: 0.05},
+		{CalibSigma: 4, CalibSeed: 2},
+		{SlewLimitCPerS: 0.1},
+	} {
+		f := f
+		s := cheapSpec(25)
+		s.Jobs[0].Faults = &f
+		if err := s.Validate(); err != nil {
+			t.Errorf("good fault %+v rejected: %v", f, err)
+		}
 	}
 }
 

@@ -127,6 +127,58 @@ func TestKeyFleetCoordSemanticEdits(t *testing.T) {
 	}
 }
 
+// TestKeyFleetNodeFaults: a fleet node's fault block is part of the
+// cell's identity — and a fault-free explicit-node spec keys identically
+// whether the Faults field is nil or simply absent (there is no way to
+// populate an "empty but present" block; Validate rejects inert ones).
+func TestKeyFleetNodeFaults(t *testing.T) {
+	mk := func(f *FaultSpec) Spec {
+		return Spec{
+			Kind:     KindFleet,
+			Name:     "faulty-rack",
+			Duration: 600,
+			Fleet: &FleetSpec{
+				Nodes: []FleetNode{
+					{
+						Name: "n0", Aisle: "cold", Slot: 0,
+						Workload: FactoryRef{Name: "constant", Params: Params{"u": 0.5}},
+						Policy:   FactoryRef{Name: "full"},
+						Faults:   f,
+					},
+					{
+						Name: "n1", Aisle: "hot", Slot: 0,
+						Workload: FactoryRef{Name: "constant", Params: Params{"u": 0.5}},
+						Policy:   FactoryRef{Name: "full"},
+					},
+				},
+			},
+		}
+	}
+	clean, err := Key(mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]*FaultSpec{
+		"stuck":     {StuckAt: 100, StuckLen: 60},
+		"dropout":   {DropoutRate: 0.2, DropoutSeed: 9},
+		"placement": {PlacementCoeff: 0.08},
+		"calib":     {CalibSigma: 4, CalibSeed: 3},
+		"slew":      {SlewLimitCPerS: 0.05},
+	} {
+		s := mk(f)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		k, err := Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == clean {
+			t.Errorf("node fault %q did not change the key", name)
+		}
+	}
+}
+
 // TestKeyMapOrderInvariant: the hash must not depend on how parameter
 // maps were populated (Go randomizes map iteration; the canonical JSON
 // sorts keys).
@@ -181,6 +233,10 @@ func TestKeyChangesOnSemanticEdits(t *testing.T) {
 		"drop warm start": func(s *Spec) { s.Jobs[0].WarmStart = nil },
 		"fault window":    func(s *Spec) { s.Jobs[1].Faults.StuckLen = 61 },
 		"fault rate":      func(s *Spec) { s.Jobs[1].Faults.DropoutRate = 0.2 },
+		"fault placement": func(s *Spec) { s.Jobs[1].Faults.PlacementCoeff = 0.05 },
+		"fault calib":     func(s *Spec) { s.Jobs[1].Faults.CalibSigma = 3 },
+		"fault calibseed": func(s *Spec) { s.Jobs[1].Faults.CalibSigma = 3; s.Jobs[1].Faults.CalibSeed = 7 },
+		"fault slew":      func(s *Spec) { s.Jobs[1].Faults.SlewLimitCPerS = 0.05 },
 		"job order":       func(s *Spec) { s.Jobs[0], s.Jobs[1] = s.Jobs[1], s.Jobs[0] },
 		"extra job":       func(s *Spec) { s.Jobs = append(s.Jobs, s.Jobs[0]) },
 		"job config":      func(s *Spec) { c := sim.Default(); s.Jobs[0].Config = &c },

@@ -208,11 +208,45 @@ func (s *SampleHold) Reset() { s.primed = false; s.value = 0; s.lastT = 0 }
 // out. The paper's chain is noise -> quantizer -> delay.
 type Pipeline struct {
 	stages []Stage
+	// powered caches the stages (transitively, through nested pipelines)
+	// that consume the instantaneous power feed, so a chain without any —
+	// every ideal and transport-fault-only chain — skips the per-tick
+	// forwarding entirely.
+	powered []PowerAware
 }
 
 // NewPipeline builds a pipeline over the given stages. An empty pipeline
 // is the identity (an ideal sensor).
-func NewPipeline(stages ...Stage) *Pipeline { return &Pipeline{stages: stages} }
+func NewPipeline(stages ...Stage) *Pipeline {
+	p := &Pipeline{stages: stages}
+	for _, s := range stages {
+		// A nested pipeline satisfies PowerAware unconditionally; collect
+		// it only when it actually holds power-aware stages, so that
+		// wrapping an ideal chain keeps NeedsPower false.
+		if inner, ok := s.(*Pipeline); ok {
+			if inner.NeedsPower() {
+				p.powered = append(p.powered, inner)
+			}
+			continue
+		}
+		if pa, ok := s.(PowerAware); ok {
+			p.powered = append(p.powered, pa)
+		}
+	}
+	return p
+}
+
+// NeedsPower reports whether any stage consumes the instantaneous power
+// feed; the platform checks it once per tick before forwarding.
+func (p *Pipeline) NeedsPower() bool { return len(p.powered) > 0 }
+
+// ObservePower implements PowerAware: the power feed fans out to every
+// power-aware stage in chain order.
+func (p *Pipeline) ObservePower(w float64) {
+	for _, s := range p.powered {
+		s.ObservePower(w)
+	}
+}
 
 // Sample implements Stage.
 func (p *Pipeline) Sample(t units.Seconds, v float64) float64 {

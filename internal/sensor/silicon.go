@@ -1,0 +1,147 @@
+package sensor
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// This file models the silicon-side measurement error sources Rotem et al.
+// characterized on real parts ("Temperature measurement in the Intel Core
+// Duo Processor"): the thermal diode sits millimeters from the hotspot, so
+// the reading lags the die both in space (an offset that grows with the
+// instantaneous power density) and in time (slew-limited tracking of fast
+// transients), on top of a fixed per-part calibration error. These stages
+// sit on the transducer side of the chain — before the ADC and the I2C
+// transport — whereas StuckAt/Dropout (faults.go) model the transport side.
+
+// PowerAware is implemented by stages whose measurement error depends on
+// the instantaneous dissipated power (the placement offset grows with the
+// local power density). The platform feeds the current CPU power into the
+// pipeline each tick before sampling; stages that do not implement the
+// interface are unaffected, and a pipeline with no power-aware stages
+// skips the forwarding entirely (NeedsPower), so ideal chains pay nothing.
+type PowerAware interface {
+	// ObservePower records the instantaneous per-socket CPU power (W)
+	// dissipated during the tick about to be sampled.
+	ObservePower(w float64)
+}
+
+// PlacementOffset models sensor-to-hotspot placement error: the diode sits
+// off the hotspot, so it reads low by an amount proportional to the
+// instantaneous power flowing through the die (the temperature gradient
+// between hotspot and sensor site scales with the local power density; the
+// die geometry is folded into Coeff). The dangerous direction: under load
+// the DTM sees a cooler die than it has, and reacts late.
+type PlacementOffset struct {
+	// Coeff is the under-read per watt of instantaneous CPU power (°C/W).
+	Coeff float64
+	power float64
+}
+
+// NewPlacementOffset builds the stage. coeff must be non-negative.
+func NewPlacementOffset(coeff float64) (*PlacementOffset, error) {
+	if coeff < 0 || !units.IsFinite(coeff) {
+		return nil, fmt.Errorf("sensor: bad placement coefficient %v", coeff)
+	}
+	return &PlacementOffset{Coeff: coeff}, nil
+}
+
+// ObservePower implements PowerAware.
+func (p *PlacementOffset) ObservePower(w float64) { p.power = w }
+
+// Sample implements Stage: read low by Coeff x instantaneous power.
+func (p *PlacementOffset) Sample(_ units.Seconds, v float64) float64 {
+	return v - p.Coeff*p.power
+}
+
+// Reset implements Stage: the observed power rewinds to the pre-run zero
+// so warm lockstep re-steps replay the first tick identically.
+func (p *PlacementOffset) Reset() { p.power = 0 }
+
+// CalibrationBias is a fixed per-sensor offset: the part-to-part
+// calibration error of the thermal diode, drawn once per sensor from a
+// zero-mean Gaussian with the given sigma. The draw is a pure function of
+// (sigma, seed) via the stats.SubSeed mixing hash, so sibling sensors
+// seeded with consecutive streams land on decorrelated offsets, and the
+// same spec always rebuilds the same bias.
+type CalibrationBias struct {
+	// Offset is the drawn calibration error (°C), fixed for the sensor's
+	// lifetime.
+	Offset float64
+}
+
+// calibrationStream decorrelates the calibration draw from the other
+// consumers of a node's seed (workload noise, dropout pattern).
+const calibrationStream = 0x5ca1ab1e
+
+// NewCalibrationBias draws the per-sensor offset from N(0, sigma²) for the
+// given seed. sigma must be non-negative.
+func NewCalibrationBias(sigma float64, seed int64) (*CalibrationBias, error) {
+	if sigma < 0 || !units.IsFinite(sigma) {
+		return nil, fmt.Errorf("sensor: bad calibration sigma %v", sigma)
+	}
+	return &CalibrationBias{
+		Offset: sigma * stats.HashNormal(stats.SubSeed(seed, calibrationStream), 0),
+	}, nil
+}
+
+// Sample implements Stage.
+func (c *CalibrationBias) Sample(_ units.Seconds, v float64) float64 {
+	return v + c.Offset
+}
+
+// Reset implements Stage: the offset is a lifetime property of the part,
+// so there is no state to rewind.
+func (c *CalibrationBias) Reset() {}
+
+// SlewLimit models the sensor's bounded tracking rate: the diode plus its
+// sampling network follow the die with a maximum output slew, so fast
+// power transients are under-reported until the reading catches up —
+// exactly the window in which a reactive DTM is blind to an excursion.
+type SlewLimit struct {
+	// MaxPerSec is the maximum reported-temperature slew (°C/s).
+	MaxPerSec float64
+	lastT     units.Seconds
+	out       float64
+	primed    bool
+}
+
+// NewSlewLimit builds the stage. maxPerSec must be positive.
+func NewSlewLimit(maxPerSec float64) (*SlewLimit, error) {
+	if maxPerSec <= 0 || !units.IsFinite(maxPerSec) {
+		return nil, fmt.Errorf("sensor: non-positive slew limit %v", maxPerSec)
+	}
+	return &SlewLimit{MaxPerSec: maxPerSec}, nil
+}
+
+// Sample implements Stage: the output moves toward v by at most
+// MaxPerSec x elapsed time. The first sample primes the output exactly
+// (the sensor has had all of history to settle before the run).
+func (s *SlewLimit) Sample(t units.Seconds, v float64) float64 {
+	if !s.primed {
+		s.out = v
+		s.lastT = t
+		s.primed = true
+		return v
+	}
+	dt := float64(t - s.lastT)
+	if dt < 0 {
+		dt = 0
+	}
+	s.lastT = t
+	step := s.MaxPerSec * dt
+	switch d := v - s.out; {
+	case d > step:
+		s.out += step
+	case d < -step:
+		s.out -= step
+	default:
+		s.out = v
+	}
+	return s.out
+}
+
+// Reset implements Stage.
+func (s *SlewLimit) Reset() { s.lastT, s.out, s.primed = 0, 0, false }

@@ -1,0 +1,194 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestPlacementOffsetScalesWithPower(t *testing.T) {
+	p, err := NewPlacementOffset(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No power observed yet: the stage is transparent.
+	if got := p.Sample(0, 70); got != 70 {
+		t.Fatalf("zero-power sample = %v, want 70", got)
+	}
+	p.ObservePower(100)
+	if got := p.Sample(1, 70); got != 60 {
+		t.Fatalf("100 W sample = %v, want 60 (10 degC low)", got)
+	}
+	p.ObservePower(50)
+	if got := p.Sample(2, 70); got != 65 {
+		t.Fatalf("50 W sample = %v, want 65", got)
+	}
+}
+
+func TestPlacementOffsetResetRewindsPower(t *testing.T) {
+	p, _ := NewPlacementOffset(0.2)
+	p.ObservePower(80)
+	p.Sample(0, 70)
+	p.Reset()
+	if got := p.Sample(0, 70); got != 70 {
+		t.Fatalf("post-reset sample = %v, want transparent 70", got)
+	}
+}
+
+func TestPlacementOffsetValidation(t *testing.T) {
+	if _, err := NewPlacementOffset(-0.1); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	if _, err := NewPlacementOffset(math.NaN()); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+}
+
+func TestCalibrationBiasDeterministicDraw(t *testing.T) {
+	a, err := NewCalibrationBias(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewCalibrationBias(3, 42)
+	if a.Offset != b.Offset {
+		t.Fatalf("same (sigma, seed) drew %v and %v", a.Offset, b.Offset)
+	}
+	if a.Offset == 0 {
+		t.Fatal("sigma 3 drew exactly 0 (suspicious)")
+	}
+	c, _ := NewCalibrationBias(3, 43)
+	if a.Offset == c.Offset {
+		t.Fatalf("adjacent seeds drew the same offset %v", a.Offset)
+	}
+	if got := a.Sample(0, 70); got != 70+a.Offset {
+		t.Fatalf("sample = %v, want %v", got, 70+a.Offset)
+	}
+	// Reset must not redraw or clear the lifetime offset.
+	a.Reset()
+	if got := a.Sample(1, 70); got != 70+b.Offset {
+		t.Fatalf("post-reset sample = %v, want unchanged bias", got)
+	}
+}
+
+func TestCalibrationBiasSpread(t *testing.T) {
+	// Across many seeds the draws should look like N(0, sigma^2): mean
+	// near 0, a reasonable fraction beyond +-sigma.
+	const sigma = 2.0
+	n, sum, beyond := 2000, 0.0, 0
+	for seed := int64(0); seed < int64(n); seed++ {
+		c, _ := NewCalibrationBias(sigma, seed)
+		sum += c.Offset
+		if math.Abs(c.Offset) > sigma {
+			beyond++
+		}
+	}
+	if mean := sum / float64(n); math.Abs(mean) > 0.2 {
+		t.Errorf("mean offset = %v, want ~0", mean)
+	}
+	frac := float64(beyond) / float64(n)
+	if frac < 0.25 || frac > 0.40 {
+		t.Errorf("fraction beyond +-sigma = %v, want ~0.32", frac)
+	}
+}
+
+func TestCalibrationBiasValidation(t *testing.T) {
+	if _, err := NewCalibrationBias(-1, 0); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewCalibrationBias(math.Inf(1), 0); err == nil {
+		t.Error("infinite sigma accepted")
+	}
+}
+
+func TestSlewLimitTracksSlowPassesFast(t *testing.T) {
+	s, err := NewSlewLimit(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sample primes exactly.
+	if got := s.Sample(0, 50); got != 50 {
+		t.Fatalf("prime = %v", got)
+	}
+	// A 10-degree step is tracked at 0.5 degC/s.
+	if got := s.Sample(1, 60); got != 50.5 {
+		t.Fatalf("t=1: %v, want 50.5", got)
+	}
+	if got := s.Sample(2, 60); got != 51 {
+		t.Fatalf("t=2: %v, want 51", got)
+	}
+	// Once within the per-step budget the output locks on.
+	for i := 3; i < 30; i++ {
+		s.Sample(units.Seconds(i), 60)
+	}
+	if got := s.Sample(30, 60); got != 60 {
+		t.Fatalf("settled = %v, want 60", got)
+	}
+	// Downward transients are limited symmetrically.
+	if got := s.Sample(31, 40); got != 59.5 {
+		t.Fatalf("down-step = %v, want 59.5", got)
+	}
+	// Slow drifts inside the budget pass through exactly.
+	if got := s.Sample(32, 59.4); got != 59.4 {
+		t.Fatalf("in-budget sample = %v, want exact 59.4", got)
+	}
+}
+
+func TestSlewLimitResetReplaysIdentically(t *testing.T) {
+	s, _ := NewSlewLimit(0.25)
+	in := []float64{50, 58, 61, 55, 70, 70, 70, 40}
+	first := make([]float64, len(in))
+	for i, v := range in {
+		first[i] = s.Sample(units.Seconds(i), v)
+	}
+	s.Reset()
+	for i, v := range in {
+		if got := s.Sample(units.Seconds(i), v); got != first[i] {
+			t.Fatalf("replay sample %d = %v, want %v", i, got, first[i])
+		}
+	}
+}
+
+func TestSlewLimitValidation(t *testing.T) {
+	if _, err := NewSlewLimit(0); err == nil {
+		t.Error("zero slew accepted")
+	}
+	if _, err := NewSlewLimit(-1); err == nil {
+		t.Error("negative slew accepted")
+	}
+}
+
+func TestPipelinePowerForwarding(t *testing.T) {
+	po, _ := NewPlacementOffset(0.1)
+	q := TableIQuantizer()
+	p := NewPipeline(po, q)
+	if !p.NeedsPower() {
+		t.Fatal("pipeline with PlacementOffset reports NeedsPower false")
+	}
+	p.ObservePower(100)
+	if got := p.Sample(0, 70); got != 60 {
+		t.Fatalf("sample = %v, want 60 (10 degC under-read, quantized)", got)
+	}
+
+	// An ideal chain must not report a power need — and neither must a
+	// pipeline that nests one (the serverFactory wraps the base chain in
+	// an outer pipeline).
+	ideal := NewPipeline(q)
+	if ideal.NeedsPower() {
+		t.Fatal("ideal pipeline reports NeedsPower true")
+	}
+	wrapped := NewPipeline(ideal)
+	if wrapped.NeedsPower() {
+		t.Fatal("pipeline nesting an ideal chain reports NeedsPower true")
+	}
+
+	// Nesting a power-aware chain forwards through the outer pipeline.
+	outer := NewPipeline(p)
+	if !outer.NeedsPower() {
+		t.Fatal("pipeline nesting a power-aware chain reports NeedsPower false")
+	}
+	outer.ObservePower(50)
+	if got := outer.Sample(1, 70); got != 65 {
+		t.Fatalf("nested sample = %v, want 65", got)
+	}
+}

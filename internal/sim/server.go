@@ -156,6 +156,12 @@ func (s *PhysicalServer) TickInto(demand units.Utilization, out *TickResult) {
 	cpuP := s.cpu.Power(delivered)
 	fanP := s.fan.Power(s.fanAct)
 	s.therm.Step(cpuP, s.fanAct, dt)
+	// Power-dependent measurement error (sensor.PlacementOffset) sees the
+	// power dissipated during the tick it samples; ideal chains skip the
+	// forwarding (NeedsPower is a cached slice-length check).
+	if s.pipe.NeedsPower() {
+		s.pipe.ObservePower(float64(cpuP))
+	}
 	meas := s.pipe.Sample(t, float64(s.therm.Junction()))
 
 	*out = TickResult{
@@ -232,6 +238,11 @@ func (s *PhysicalServer) WarmStart(u units.Utilization, v units.RPM) error {
 	s.therm.SetState(sink, junc)
 	s.fanCmd, s.fanAct = v, v
 	s.pipe.Reset()
+	// The warm operating point has been dissipating p for a long time, so
+	// power-dependent measurement error applies to the primed readings too.
+	if s.pipe.NeedsPower() {
+		s.pipe.ObservePower(float64(p))
+	}
 	// Prime the delay line so the policy sees the warm temperature, not
 	// the initial-value placeholder, from t = 0.
 	lag := float64(s.cfg.Sensor.LagSeconds)
