@@ -5,13 +5,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare ci
+.PHONY: all build vet test race lint bench bench-smoke bench-json bench-compare ci
 
 # Benchmarks recorded into the machine-readable perf trajectory
 # (BENCH_*.json via `make bench-json`); keep the hot-path and engine
 # comparison benchmarks here so every PR's baseline is diffable.
 BENCH_JSON_PATTERN = 'BenchmarkNetworkStep$$|BenchmarkBatchNetworkStep|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkEngineThroughput|BenchmarkMulticoreTick|BenchmarkTable3Serial|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun'
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 all: ci
 
@@ -26,6 +26,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Repo-specific static analysis (internal/lint): determinism, map-order,
+# ambient-read, scratch-alias and hash-coverage contracts. Exits non-zero
+# on any finding; suppress individual lines with
+# `//lint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/repolint
 
 # Hot-path micro-benchmarks with allocation reporting: NetworkStep,
 # ServerTick and MulticoreTick must stay at 0 allocs/op; Table3Parallel vs
@@ -48,7 +55,7 @@ bench-json:
 
 # Diff fresh trajectory numbers against a committed baseline; fails on a
 # >BENCH_THRESHOLD regression in time or allocations per benchmark.
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR6.json
 BENCH_THRESHOLD ?= 0.15
 bench-compare:
 	$(GO) test -run xxx -bench $(BENCH_JSON_PATTERN) -benchtime 1s -benchmem . > bench.out

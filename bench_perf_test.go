@@ -26,7 +26,7 @@ import (
 
 // buildNetwork constructs an n-node star network (n-1 loaded nodes around
 // one ambient-coupled sink) shaped like the multicore scenarios.
-func buildNetwork(b *testing.B, n int) *thermal.Network {
+func buildNetwork(b testing.TB, n int) *thermal.Network {
 	b.Helper()
 	net, err := thermal.NewNetwork(n, 25)
 	if err != nil {
@@ -107,11 +107,11 @@ type tickHarness struct {
 	k      int
 }
 
-func newTickHarness(b *testing.B) *tickHarness { return newTickHarnessSensor(b, nil) }
+func newTickHarness(b testing.TB) *tickHarness { return newTickHarnessSensor(b, nil) }
 
 // newTickHarnessSensor builds the harness with an optional sensor-chain
 // replacement applied before the warm start (the fault-chain benchmark).
-func newTickHarnessSensor(b *testing.B, replace func(cfg sim.Config, server *sim.PhysicalServer) error) *tickHarness {
+func newTickHarnessSensor(b testing.TB, replace func(cfg sim.Config, server *sim.PhysicalServer) error) *tickHarness {
 	b.Helper()
 	cfg := sim.Default()
 	cfg.Ambient = 33
@@ -179,39 +179,44 @@ func BenchmarkServerTick(b *testing.B) {
 	}
 }
 
+// fullSensorChain swaps the server's clean sensor chain for the full
+// non-ideal one — placement offset (power observation + subtraction),
+// calibration bias, slew limiter, the clean base chain, dropout, and an
+// armed stuck-at window. Shared by BenchmarkFaultChain and the
+// fault-chain row of TestZeroAllocContracts.
+func fullSensorChain(cfg sim.Config, server *sim.PhysicalServer) error {
+	base, err := sensor.New(cfg.Sensor)
+	if err != nil {
+		return err
+	}
+	place, err := sensor.NewPlacementOffset(0.05)
+	if err != nil {
+		return err
+	}
+	calib, err := sensor.NewCalibrationBias(4, 42)
+	if err != nil {
+		return err
+	}
+	slew, err := sensor.NewSlewLimit(0.5)
+	if err != nil {
+		return err
+	}
+	drop, err := sensor.NewDropout(0.2, 7)
+	if err != nil {
+		return err
+	}
+	stuck, err := sensor.NewStuckAt(120, 240)
+	if err != nil {
+		return err
+	}
+	return server.ReplaceSensor(sensor.NewPipeline(place, calib, slew, base, drop, stuck))
+}
+
 // BenchmarkFaultChain measures the same closed-loop tick with the full
-// non-ideal-sensing chain in the sensor path — placement offset (power
-// observation + subtraction), calibration bias, slew limiter, the clean
-// base chain, dropout, and an armed stuck-at window. The acceptance bar
-// is the same as ServerTick: zero allocs/op.
+// non-ideal-sensing chain in the sensor path. The acceptance bar is the
+// same as ServerTick: zero allocs/op.
 func BenchmarkFaultChain(b *testing.B) {
-	h := newTickHarnessSensor(b, func(cfg sim.Config, server *sim.PhysicalServer) error {
-		base, err := sensor.New(cfg.Sensor)
-		if err != nil {
-			return err
-		}
-		place, err := sensor.NewPlacementOffset(0.05)
-		if err != nil {
-			return err
-		}
-		calib, err := sensor.NewCalibrationBias(4, 42)
-		if err != nil {
-			return err
-		}
-		slew, err := sensor.NewSlewLimit(0.5)
-		if err != nil {
-			return err
-		}
-		drop, err := sensor.NewDropout(0.2, 7)
-		if err != nil {
-			return err
-		}
-		stuck, err := sensor.NewStuckAt(120, 240)
-		if err != nil {
-			return err
-		}
-		return server.ReplaceSensor(sensor.NewPipeline(place, calib, slew, base, drop, stuck))
-	})
+	h := newTickHarnessSensor(b, fullSensorChain)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

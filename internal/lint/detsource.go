@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs names the packages (by final import-path element)
+// whose results must be bit-reproducible from their inputs: seeds, time
+// and environment flow in explicitly or not at all. This is the property
+// every equivalence test in the repo (parallel ≡ sequential, warm ≡ cold,
+// store hit ≡ fresh run) silently assumes.
+var deterministicPkgs = map[string]bool{
+	"sim":       true,
+	"thermal":   true,
+	"sensor":    true,
+	"control":   true,
+	"core":      true,
+	"coord":     true,
+	"fleet":     true,
+	"multicore": true,
+	"scenario":  true,
+	"workload":  true,
+	"stats":     true,
+}
+
+// randConstructors are the math/rand entry points that build an explicit,
+// seedable generator — allowed; everything else at package level draws
+// from the global source and is forbidden.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// envReads are the os functions that read ambient process state.
+var envReads = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+}
+
+// DetSource forbids nondeterministic inputs — wall-clock reads, the
+// global math/rand source, environment variables — inside the
+// deterministic simulation packages. Test files are exempt (they may
+// time themselves); production code must thread seeds and clocks
+// explicitly.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "deterministic packages must not read wall clock, global rand, or environment",
+	Run:  detSourceRun,
+}
+
+func detSourceRun(p *Package) []Diagnostic {
+	if !deterministicPkgs[lastElem(p.Path)] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[ident].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are explicit state
+			}
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			var why string
+			switch {
+			case pkgPath == "time" && (name == "Now" || name == "Since"):
+				why = "reads the wall clock; simulated time must come from the engine tick"
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name]:
+				why = "draws from the global rand source; build an explicit seeded generator (stats.NewRand / rand.New)"
+			case pkgPath == "os" && envReads[name]:
+				why = "reads the process environment; configuration must arrive through explicit parameters"
+			default:
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      ident.Pos(),
+				Analyzer: "detsource",
+				Message:  fmt.Sprintf("%s.%s in deterministic package %s: %s", pkgPath, name, lastElem(p.Path), why),
+			})
+			return true
+		})
+	}
+	return diags
+}

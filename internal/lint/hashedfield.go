@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// HashedField guards the store-key contract: a scenario's content address
+// is the SHA-256 of its canonical JSON, so every exported struct field
+// reachable from scenario.Spec (and FaultSpec) is part of the hash
+// whether its author thought about it or not. Requiring an explicit json
+// tag on each such field turns "added a field" from a silent key-splitter
+// (or a silent non-splitter, when the field should have split cells but
+// was shadowed) into a deliberate, reviewed serialization decision.
+// Fields of the FaultSpec root must additionally carry omitempty: every
+// fault stage is optional, and a non-omitempty zero field would perturb
+// the canonical JSON of every fault-free spec in every existing store.
+var HashedField = &Analyzer{
+	Name: "hashedfield",
+	Doc:  "fields reachable from scenario.Spec/FaultSpec need explicit json tags (omitempty on FaultSpec)",
+	Run:  hashedFieldRun,
+}
+
+// hashedRoots are the hashed type roots, looked up in any package whose
+// import path ends in /scenario. requireOmitempty marks roots whose
+// fields are all optional.
+// FaultSpec is listed first so its omitempty requirement wins over the
+// plain visit it would otherwise get when Spec's traversal reaches it.
+var hashedRoots = []struct {
+	name             string
+	requireOmitempty bool
+}{
+	{"FaultSpec", true},
+	{"Spec", false},
+}
+
+func hashedFieldRun(p *Package) []Diagnostic {
+	if lastElem(p.Path) != "scenario" || p.Types == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	seen := map[*types.Named]bool{}
+	var visit func(named *types.Named, omitempty bool)
+	visit = func(named *types.Named, omitempty bool) {
+		if named == nil || seen[named] {
+			return
+		}
+		seen[named] = true
+		obj := named.Obj()
+		// Only first-party structs are fixable; a stdlib type reached from
+		// the hash would be flagged at the field that introduced it.
+		if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path()+"/", p.Module+"/") {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		owner := fmt.Sprintf("%s.%s", lastElem(obj.Pkg().Path()), obj.Name())
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // encoding/json skips unexported fields
+			}
+			tag, hasTag := reflect.StructTag(st.Tag(i)).Lookup("json")
+			name, opts, _ := strings.Cut(tag, ",")
+			switch {
+			case !hasTag || name == "":
+				diags = append(diags, Diagnostic{
+					Pos:      f.Pos(),
+					Analyzer: "hashedfield",
+					Message: fmt.Sprintf("%s.%s is reachable from scenario.Spec's store-identity hash but has no explicit json name: tag it (json:\"...\") so renames and additions split store keys deliberately, never silently",
+						owner, f.Name()),
+				})
+			case name != "-" && omitempty && !strings.Contains(","+opts+",", ",omitempty,"):
+				diags = append(diags, Diagnostic{
+					Pos:      f.Pos(),
+					Analyzer: "hashedfield",
+					Message: fmt.Sprintf("%s.%s is an optional fault/param field hashed into store keys but lacks omitempty: its zero value would perturb the canonical JSON of every existing fault-free cell",
+						owner, f.Name()),
+				})
+			}
+			if name != "-" {
+				visitType(f.Type(), omitempty, visit)
+			}
+		}
+	}
+	for _, root := range hashedRoots {
+		obj := p.Types.Scope().Lookup(root.name)
+		if obj == nil {
+			continue
+		}
+		if named, ok := obj.Type().(*types.Named); ok {
+			visit(named, root.requireOmitempty)
+		}
+	}
+	SortDiagnostics(p.Fset, diags)
+	return diags
+}
+
+// visitType recurses through the serializable structure of t, invoking
+// visit on every named type encountered.
+func visitType(t types.Type, omitempty bool, visit func(*types.Named, bool)) {
+	switch t := t.(type) {
+	case *types.Named:
+		visit(t, omitempty)
+	case *types.Pointer:
+		visitType(t.Elem(), omitempty, visit)
+	case *types.Slice:
+		visitType(t.Elem(), false, visit)
+	case *types.Array:
+		visitType(t.Elem(), false, visit)
+	case *types.Map:
+		visitType(t.Key(), false, visit)
+		visitType(t.Elem(), false, visit)
+	}
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder guards the repo's canonical-output contract: Go randomizes map
+// iteration order per run, so a `range` over a map must never shape
+// anything order-sensitive — appended slices, printed tables, hashed or
+// encoded bytes. The store keys (canonical JSON -> SHA-256) and every CLI
+// table the ci.sh smokes diff byte-for-byte depend on this.
+//
+// Compliant patterns stay silent:
+//   - collecting the keys into a slice that is sorted later in the same
+//     function (the collect-then-sort idiom);
+//   - ranging over an already-sorted key slice (not a map at all);
+//   - writing dst[f(k)] = g(v) — per-key map writes commute.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map must not feed output, hashing, or unsorted slices",
+	Run:  mapOrderRun,
+}
+
+// sinkPrefixes match method/function names that emit into a stateful sink
+// (writer, printer, encoder, hasher) where call order is the output order.
+var sinkPrefixes = []string{"Print", "Fprint", "Write", "Encode", "Sum"}
+
+func mapOrderRun(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, body := range funcBodies(f) {
+			// Find the map ranges whose nearest enclosing function body is
+			// this one (nested function literals are scanned as their own
+			// bodies, so each range is examined exactly once).
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return n.Body == body
+				case *ast.RangeStmt:
+					if t := p.Info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							diags = append(diags, p.checkMapRange(body, n)...)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// rangeVarObjs resolves the range statement's key and value objects.
+func (p *Package) rangeVarObjs(rs *ast.RangeStmt) (key, val types.Object) {
+	resolve := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if o := p.Info.Defs[id]; o != nil {
+			return o
+		}
+		return p.Info.Uses[id]
+	}
+	if rs.Key != nil {
+		key = resolve(rs.Key)
+	}
+	if rs.Value != nil {
+		val = resolve(rs.Value)
+	}
+	return key, val
+}
+
+// mentions reports whether expr references any of the given objects.
+func (p *Package) mentions(expr ast.Expr, objs ...types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			o := p.Info.Uses[id]
+			for _, want := range objs {
+				if want != nil && o == want {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether the object's declaration lies inside the
+// node's source range (i.e. the variable is loop-local).
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// checkMapRange inspects one map-range body for order-sensitive effects.
+func (p *Package) checkMapRange(encBody *ast.BlockStmt, rs *ast.RangeStmt) []Diagnostic {
+	keyObj, valObj := p.rangeVarObjs(rs)
+	var diags []Diagnostic
+	report := func(pos ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos.Pos(),
+			Analyzer: "maporder",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && len(n.Args) >= 1 {
+					if obj, ok := p.Info.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
+						diags = append(diags, p.checkRangeAppend(encBody, rs, n, keyObj)...)
+					}
+				}
+				if fun.Name == "print" || fun.Name == "println" {
+					if _, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+						report(n, "builtin %s inside range over map: output order is map iteration order (random per run)", fun.Name)
+					}
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				for _, pre := range sinkPrefixes {
+					if strings.HasPrefix(name, pre) || name == "MustAppend" {
+						report(n, "order-sensitive call %s inside range over map: printed/encoded/hashed order is map iteration order (random per run); sort the keys first", name)
+						break
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if p.mentions(ix.Index, keyObj, valObj) {
+					continue // per-key writes commute across iteration orders
+				}
+				report(ix, "indexed write inside range over map whose index does not depend on the key: element order follows map iteration order (random per run)")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkRangeAppend classifies an append inside a map-range body: appends
+// into loop-local slices are invisible outside the iteration, the
+// collect-keys idiom is fine when the slice is sorted later in the same
+// function, and everything else bakes random iteration order into the
+// slice.
+func (p *Package) checkRangeAppend(encBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr, keyObj types.Object) []Diagnostic {
+	targetIdent, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		// Appending to a field/indexed slice: conservatively treat as
+		// outer-lived.
+		return []Diagnostic{{
+			Pos:      call.Pos(),
+			Analyzer: "maporder",
+			Message:  "append inside range over map: element order is map iteration order (random per run); sort the keys first",
+		}}
+	}
+	targetObj := p.Info.Uses[targetIdent]
+	if targetObj == nil {
+		targetObj = p.Info.Defs[targetIdent]
+	}
+	if declaredWithin(targetObj, rs.Body) {
+		return nil // loop-local scratch, dies with the iteration
+	}
+	if p.sortedAfter(encBody, rs, targetObj) {
+		return nil // collect-then-sort idiom
+	}
+	// Pure key collection: append(keys, k) with k the range key.
+	if len(call.Args) == 2 && !call.Ellipsis.IsValid() {
+		if arg, ok := call.Args[1].(*ast.Ident); ok && keyObj != nil && p.Info.Uses[arg] == keyObj {
+			return []Diagnostic{{
+				Pos:      call.Pos(),
+				Analyzer: "maporder",
+				Message:  fmt.Sprintf("map keys collected into %s but never sorted in this function: downstream order is map iteration order (random per run)", targetIdent.Name),
+			}}
+		}
+	}
+	return []Diagnostic{{
+		Pos:      call.Pos(),
+		Analyzer: "maporder",
+		Message:  fmt.Sprintf("append to %s inside range over map: element order is map iteration order (random per run); sort the keys first", targetIdent.Name),
+	}}
+}
+
+// sortedAfter reports whether, later in the enclosing function body, the
+// slice object is passed to a sort/slices sorting call.
+func (p *Package) sortedAfter(encBody *ast.BlockStmt, rs *ast.RangeStmt, slice types.Object) bool {
+	if slice == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if p.mentions(arg, slice) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

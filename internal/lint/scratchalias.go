@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// scratchField identifies one documented scratch-aliased slice field: the
+// producing API overwrites the slice on the next call, so callers may
+// read it immediately or copy it, never store it.
+type scratchField struct {
+	pkg, typ, field string
+	api             string // the producing API, for the message
+}
+
+// scratchFields is the registry of scratch-reusing result fields. PR 2
+// documented the multicore contract: Server.Tick reuses per-server
+// buffers for TickResult.Junctions and TickResult.Measured. New
+// scratch-returning APIs add a row here and inherit the whole check.
+var scratchFields = []scratchField{
+	{"multicore", "TickResult", "Junctions", "multicore.Server.Tick"},
+	{"multicore", "TickResult", "Measured", "multicore.Server.Tick"},
+}
+
+// copySafeTarget is a result type documented as a reusable tick target
+// (sim.PhysicalServer.TickInto overwrites its *TickResult in place every
+// tick). Such a type must stay free of reference-typed exported fields —
+// otherwise a retained copy of the struct would silently alias scratch —
+// unless the field is explicitly registered in scratchFields, which makes
+// the aliasing a documented contract the analyzer then polices at every
+// call site.
+type copySafeTarget struct {
+	pkg, typ string
+	api      string
+}
+
+var copySafeTargets = []copySafeTarget{
+	{"sim", "TickResult", "sim.PhysicalServer.TickInto"},
+	{"multicore", "TickResult", "multicore.Server.Tick"},
+}
+
+// ScratchAlias polices the scratch-reuse contracts on hot-path tick APIs:
+// a scratch-aliased result slice (multicore.TickResult.Junctions/
+// Measured) must not be stored anywhere that outlives the tick — struct
+// fields, map or slice elements, composite literals, returns, channel
+// sends, or appends — without an explicit copy (spread-append and copy()
+// stay silent). It also keeps the reusable TickInto/Tick result structs
+// copy-safe: adding a reference-typed field to them without registering
+// it as scratch is itself a finding.
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc:  "scratch-aliased tick results must not outlive the call without a copy",
+	Run:  scratchAliasRun,
+}
+
+func scratchAliasRun(p *Package) []Diagnostic {
+	diags := scratchCopySafe(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					sf, ok := p.scratchSel(rhs)
+					if !ok || len(n.Lhs) != len(n.Rhs) {
+						continue
+					}
+					switch lhs := n.Lhs[i].(type) {
+					case *ast.Ident:
+						// Local alias for immediate reads: allowed.
+					case *ast.SelectorExpr:
+						diags = append(diags, scratchDiag(lhs, sf, "stored into a struct field"))
+					case *ast.IndexExpr:
+						diags = append(diags, scratchDiag(lhs, sf, "stored into a map/slice element"))
+					default:
+						diags = append(diags, scratchDiag(n, sf, "stored"))
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if sf, ok := p.scratchSel(v); ok {
+						diags = append(diags, scratchDiag(v, sf, "captured in a composite literal"))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if sf, ok := p.scratchSel(res); ok {
+						diags = append(diags, scratchDiag(res, sf, "returned"))
+					}
+				}
+			case *ast.SendStmt:
+				if sf, ok := p.scratchSel(n.Value); ok {
+					diags = append(diags, scratchDiag(n.Value, sf, "sent on a channel"))
+				}
+			case *ast.CallExpr:
+				fun, ok := n.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" {
+					return true
+				}
+				if b, ok := p.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+					return true
+				}
+				if n.Ellipsis.IsValid() {
+					return true // spread-append copies the elements
+				}
+				for _, arg := range n.Args[1:] {
+					if sf, ok := p.scratchSel(arg); ok {
+						diags = append(diags, scratchDiag(arg, sf, "appended to a slice"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// scratchSel reports whether expr selects a registered scratch-aliased
+// field.
+func (p *Package) scratchSel(expr ast.Expr) (scratchField, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return scratchField{}, false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return scratchField{}, false
+	}
+	for _, sf := range scratchFields {
+		if sel.Sel.Name == sf.field && isNamed(s.Recv(), sf.pkg, sf.typ) {
+			return sf, true
+		}
+	}
+	return scratchField{}, false
+}
+
+func scratchDiag(n ast.Node, sf scratchField, how string) Diagnostic {
+	return Diagnostic{
+		Pos:      n.Pos(),
+		Analyzer: "scratchalias",
+		Message: fmt.Sprintf("%s.%s.%s aliases per-server scratch (%s overwrites it on the next call) and is %s, outliving the tick: copy it explicitly (append([]T(nil), s...) or copy)",
+			sf.pkg, sf.typ, sf.field, sf.api, how),
+	}
+}
+
+// scratchCopySafe checks, in the package that defines a copy-safe tick
+// result type, that every exported field is either value-typed or a
+// registered scratch field.
+func scratchCopySafe(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, tgt := range copySafeTargets {
+		if lastElem(p.Path) != tgt.pkg || p.Types == nil {
+			continue
+		}
+		obj := p.Types.Scope().Lookup(tgt.typ)
+		if obj == nil {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || !isRefType(f.Type()) {
+				continue
+			}
+			registered := false
+			for _, sf := range scratchFields {
+				if sf.pkg == tgt.pkg && sf.typ == tgt.typ && sf.field == f.Name() {
+					registered = true
+				}
+			}
+			if registered {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      f.Pos(),
+				Analyzer: "scratchalias",
+				Message: fmt.Sprintf("%s.%s is a reusable tick target (%s overwrites it in place), but field %s is reference-typed: a retained struct copy would alias scratch — register the field in internal/lint's scratchFields table and audit the call sites, or make it a value",
+					tgt.pkg, tgt.typ, tgt.api, f.Name()),
+			})
+		}
+	}
+	return diags
+}
+
+// isRefType reports whether values of t share underlying storage when the
+// struct holding them is copied.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

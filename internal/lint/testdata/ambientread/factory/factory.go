@@ -1,0 +1,49 @@
+// Package factory seeds ambientread violations against the real sim and
+// workload types: any function shaped like a workload factory (takes a
+// sim.Config, returns a workload.Generator) must not touch cfg.Ambient.
+package factory
+
+import (
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// A named constructor reading the inlet temperature: the compiled demand
+// schedule would bake in the first relaxation pass's inlet.
+func badFactory(cfg sim.Config) (workload.Generator, error) {
+	base := 0.4 + float64(cfg.Ambient)/100 // want "workload factory reads cfg.Ambient"
+	return workload.Constant{U: units.Utilization(base)}, nil
+}
+
+// A factory closure in a fleet NodeSpec: same contract, same finding.
+var node = fleet.NodeSpec{
+	Workload: func(cfg sim.Config) (workload.Generator, error) {
+		if cfg.Ambient > 30 { // want "workload factory reads cfg.Ambient"
+			return workload.Constant{U: 0.2}, nil
+		}
+		return workload.Constant{U: 0.6}, nil
+	},
+}
+
+// Reads of other config fields are fine (the Tick is needed by per-tick
+// noise overlays).
+func goodFactory(cfg sim.Config) (workload.Generator, error) {
+	_ = cfg.Tick
+	return workload.Constant{U: 0.5}, nil
+}
+
+// Policies are rebuilt every relaxation pass and may read the ambient:
+// not a workload factory, no finding.
+func goodPolicy(cfg sim.Config) (sim.Policy, error) {
+	_ = cfg.Ambient
+	return nil, nil
+}
+
+// Suppression with a justified reason silences the finding.
+func suppressedFactory(cfg sim.Config) (workload.Generator, error) {
+	//lint:ignore ambientread testdata exercises the suppression path
+	_ = cfg.Ambient
+	return workload.Constant{U: 0.5}, nil
+}

@@ -1,0 +1,32 @@
+// Package sim is a detsource testdata twin: its import path ends in
+// /sim, so the analyzer treats it as a deterministic package.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Forbidden: wall clock, global rand, environment.
+func badInputs() (int, string) {
+	t0 := time.Now()                 // want "time.Now in deterministic package sim"
+	_ = time.Since(t0)               // want "time.Since in deterministic package sim"
+	n := rand.Intn(10)               // want "math/rand.Intn in deterministic package sim"
+	_ = rand.Float64()               // want "math/rand.Float64 in deterministic package sim"
+	home := os.Getenv("HOME")        // want "os.Getenv in deterministic package sim"
+	_, _ = os.LookupEnv("REPRO_ENV") // want "os.LookupEnv in deterministic package sim"
+	return n, home
+}
+
+// Allowed: explicit seeded generators and method calls on them.
+func goodInputs(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Suppression with a justified reason silences the finding.
+func suppressed() time.Time {
+	//lint:ignore detsource testdata exercises the suppression path
+	return time.Now()
+}

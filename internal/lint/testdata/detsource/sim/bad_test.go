@@ -1,0 +1,9 @@
+package sim
+
+import "time"
+
+// Test files are exempt: they may time themselves.
+func timedHelper() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

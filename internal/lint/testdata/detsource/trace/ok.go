@@ -1,0 +1,7 @@
+// Package trace is the detsource true negative: its import path element
+// is not in the deterministic set, so wall-clock reads are fine here.
+package trace
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

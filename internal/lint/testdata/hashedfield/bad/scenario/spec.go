@@ -1,0 +1,42 @@
+// Package scenario is the hashedfield violation twin: a mini Spec /
+// FaultSpec pair with untagged and non-omitempty fields reachable from
+// the store-identity hash.
+package scenario
+
+// Spec mimics the real root: reachable exported fields need explicit
+// json names.
+type Spec struct {
+	Kind     string    `json:"kind"`
+	Untagged float64   // want "Spec.Untagged is reachable from scenario.Spec's store-identity hash but has no explicit json name"
+	Unnamed  float64   `json:",omitempty"` // want "Spec.Unnamed is reachable from scenario.Spec's store-identity hash but has no explicit json name"
+	Base     *Platform `json:"base,omitempty"`
+	Jobs     []Job     `json:"jobs,omitempty"`
+	Skipped  int       `json:"-"`
+	internal int
+}
+
+// Platform is reached through a pointer field.
+type Platform struct {
+	Ambient float64 `json:"Ambient"`
+	Hidden  float64 // want "Platform.Hidden is reachable from scenario.Spec's store-identity hash but has no explicit json name"
+}
+
+// Job is reached through a slice field.
+type Job struct {
+	Name   string     `json:"name"`
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec fields are all optional: omitempty is mandatory so zero
+// values never perturb fault-free cells.
+type FaultSpec struct {
+	Rate    float64 `json:"rate"` // want "FaultSpec.Rate is an optional fault/param field hashed into store keys but lacks omitempty"
+	Seed    int64   `json:"seed,omitempty"`
+	NoTag   float64 // want "FaultSpec.NoTag is reachable from scenario.Spec's store-identity hash but has no explicit json name"
+	Skipped int     `json:"-"`
+}
+
+func use() (Spec, int) {
+	var s Spec
+	return s, s.internal
+}

@@ -1,0 +1,27 @@
+// Package scenario is the hashedfield true negative: every reachable
+// exported field carries an explicit json name and FaultSpec is fully
+// omitempty.
+package scenario
+
+type Spec struct {
+	Kind   string             `json:"kind"`
+	Base   *Platform          `json:"base,omitempty"`
+	Jobs   []Job              `json:"jobs,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+	Hidden int                `json:"-"`
+}
+
+type Platform struct {
+	Ambient float64 `json:"Ambient"`
+	Tick    float64 `json:"Tick"`
+}
+
+type Job struct {
+	Name   string     `json:"name"`
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+type FaultSpec struct {
+	Rate float64 `json:"rate,omitempty"`
+	Seed int64   `json:"seed,omitempty"`
+}

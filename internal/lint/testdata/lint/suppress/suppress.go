@@ -1,0 +1,11 @@
+// Package suppress seeds a malformed suppression marker: the reason is
+// mandatory, so a bare marker is itself a finding.
+package suppress
+
+import "fmt"
+
+func report(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:ignore maporder
+	}
+}

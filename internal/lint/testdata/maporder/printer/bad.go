@@ -1,0 +1,84 @@
+// Package printer seeds maporder violations: map ranges feeding output,
+// hashes, and unsorted slices.
+package printer
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+)
+
+// Printing inside a map range: table row order is random per run.
+func printTable(metrics map[string]float64) {
+	for name, v := range metrics {
+		fmt.Printf("%-20s %8.3f\n", name, v) // want "order-sensitive call Printf inside range over map"
+	}
+}
+
+// Hashing inside a map range: the digest differs run to run.
+func hashValues(cells map[string][]byte) [32]byte {
+	h := sha256.New()
+	for _, b := range cells {
+		h.Write(b) // want "order-sensitive call Write inside range over map"
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// Appending map values to an outer slice that is never sorted.
+func collectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append to out inside range over map"
+	}
+	return out
+}
+
+// Collecting the keys but forgetting the sort.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "map keys collected into keys but never sorted"
+	}
+	return keys
+}
+
+// Writing successive slice elements: element order is iteration order.
+func fillSlice(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	i := 0
+	for k := range m {
+		out = out[:i+1]
+		out[i] = k // want "indexed write inside range over map"
+		i++
+	}
+	return out
+}
+
+// Suppression with a justified reason silences the finding.
+func suppressedPrint(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stderr, k) //lint:ignore maporder testdata exercises the suppression path
+	}
+}
+
+// Per-key map writes commute: no finding.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Loop-local slices die with the iteration: no finding.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var pair []int
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Package sorted is the maporder true negative: the collect-then-sort
+// idiom in both its key and struct forms, then ranging over the sorted
+// slice (not the map) for output.
+package sorted
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys collected and sorted before use: silent.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Printing over the sorted key slice is a slice range, not a map range.
+func printSorted(m map[string]float64) {
+	for _, k := range sortedKeys(m) {
+		fmt.Printf("%s=%v\n", k, m[k])
+	}
+}
+
+type entry struct {
+	Name string
+	V    float64
+}
+
+// Collecting structs works too, as long as the slice is sorted later in
+// the same function (the registry list() idiom).
+func sortedEntries(m map[string]float64) []entry {
+	out := make([]entry, 0, len(m))
+	for k, v := range m {
+		out = append(out, entry{Name: k, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,67 @@
+// Package caller seeds scratchalias violations against the real
+// multicore types: TickResult.Junctions/Measured alias per-server
+// scratch that Server.Tick overwrites on the next call.
+package caller
+
+import (
+	"repro/internal/multicore"
+	"repro/internal/units"
+)
+
+type recorder struct {
+	last    []units.Celsius
+	history [][]units.Celsius
+	byTick  map[int][]units.Celsius
+}
+
+func (r *recorder) record(srv *multicore.Server, util []units.Utilization, tick int) ([]units.Celsius, error) {
+	res, err := srv.Tick(util)
+	if err != nil {
+		return nil, err
+	}
+	r.last = res.Junctions                       // want "multicore.TickResult.Junctions aliases per-server scratch"
+	r.byTick[tick] = res.Measured                // want "multicore.TickResult.Measured aliases per-server scratch"
+	r.history = append(r.history, res.Junctions) // want "multicore.TickResult.Junctions aliases per-server scratch"
+	return res.Measured, nil                     // want "multicore.TickResult.Measured aliases per-server scratch"
+}
+
+type snapshot struct {
+	J []units.Celsius
+}
+
+func capture(srv *multicore.Server, util []units.Utilization) snapshot {
+	res, _ := srv.Tick(util)
+	return snapshot{J: res.Junctions} // want "multicore.TickResult.Junctions aliases per-server scratch"
+}
+
+func send(srv *multicore.Server, util []units.Utilization, ch chan []units.Celsius) {
+	res, _ := srv.Tick(util)
+	ch <- res.Junctions // want "multicore.TickResult.Junctions aliases per-server scratch"
+}
+
+// Immediate reads and explicit copies are the documented usage: silent.
+func compliant(srv *multicore.Server, util []units.Utilization) (units.Celsius, []units.Celsius, []units.Celsius) {
+	res, _ := srv.Tick(util)
+	j := res.Junctions // local alias for immediate reads
+	peak := j[0]
+	for _, v := range j[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	kept := append([]units.Celsius(nil), res.Junctions...) // spread-append copies
+	meas := make([]units.Celsius, len(res.Measured))
+	copy(meas, res.Measured) // explicit copy
+	return peak, kept, meas
+}
+
+// Suppression with a justified reason silences the finding.
+type suppressedHolder struct {
+	j []units.Celsius
+}
+
+func suppressedStore(srv *multicore.Server, util []units.Utilization, h *suppressedHolder) {
+	res, _ := srv.Tick(util)
+	//lint:ignore scratchalias testdata exercises the suppression path
+	h.j = res.Junctions
+}

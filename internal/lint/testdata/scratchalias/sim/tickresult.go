@@ -1,0 +1,17 @@
+// Package sim is the scratchalias copy-safety twin: its path element is
+// sim, so its TickResult is checked as a reusable TickInto target —
+// reference-typed fields not registered in the scratch table are
+// findings.
+package sim
+
+// TickResult mimics the real reusable tick target with an unregistered
+// slice field smuggled in.
+type TickResult struct {
+	Demand    float64
+	Delivered float64
+	History   []float64 // want "field History is reference-typed"
+	note      []byte    // unexported: callers cannot retain it
+}
+
+// Keep the unexported field referenced so it is not dead weight.
+func (r *TickResult) noteLen() int { return len(r.note) }

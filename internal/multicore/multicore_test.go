@@ -294,36 +294,6 @@ func TestRunRecordsTraces(t *testing.T) {
 	}
 }
 
-// TestTickZeroAllocAfterWarmup is the hot-path bar of the ROADMAP's
-// "multicore hot path" item: once the sensor rings have grown to their
-// steady size, Server.Tick must not touch the heap — TickResult reuses
-// the per-server scratch buffers.
-func TestTickZeroAllocAfterWarmup(t *testing.T) {
-	if raceEnabled {
-		t.Skip("allocation counts are unreliable under the race detector")
-	}
-	cfg := DefaultConfig()
-	server, err := NewServer(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	server.CommandFan(4000)
-	util := SplitEven(0.6, cfg.NCore)
-	for i := 0; i < 200; i++ { // grow sensor rings to steady state
-		if _, err := server.Tick(util); err != nil {
-			t.Fatal(err)
-		}
-	}
-	allocs := testing.AllocsPerRun(500, func() {
-		if _, err := server.Tick(util); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("warm multicore Tick allocates %.1f objects/op, want 0", allocs)
-	}
-}
-
 // TestTickResultAliasesScratch pins the documented aliasing contract:
 // the slices returned by consecutive Ticks share backing storage.
 func TestTickResultAliasesScratch(t *testing.T) {

@@ -263,15 +263,18 @@ func (p *Pipeline) Reset() {
 	}
 }
 
-// Config bundles the parameters of the paper's measurement system.
+// Config bundles the parameters of the paper's measurement system. It is
+// hashed into scenario store keys through sim.Config, so every field
+// carries an explicit json tag mirroring its name (enforced by repolint's
+// hashedfield analyzer; the names pin the PR 4 canonical JSON).
 type Config struct {
-	LagSeconds   units.Seconds // I2C transport delay (paper: 10 s)
-	ADCBits      int           // converter resolution (paper: 8)
-	RangeMin     float64       // ADC range lower bound in °C (paper: 0)
-	RangeMax     float64       // ADC range upper bound in °C (paper: 255)
-	NoiseSigma   float64       // transducer noise σ in °C (0 = clean)
-	NoiseSeed    int64         // deterministic noise seed
-	InitialValue float64       // value reported before the first delayed sample
+	LagSeconds   units.Seconds `json:"LagSeconds"`   // I2C transport delay (paper: 10 s)
+	ADCBits      int           `json:"ADCBits"`      // converter resolution (paper: 8)
+	RangeMin     float64       `json:"RangeMin"`     // ADC range lower bound in °C (paper: 0)
+	RangeMax     float64       `json:"RangeMax"`     // ADC range upper bound in °C (paper: 255)
+	NoiseSigma   float64       `json:"NoiseSigma"`   // transducer noise σ in °C (0 = clean)
+	NoiseSeed    int64         `json:"NoiseSeed"`    // deterministic noise seed
+	InitialValue float64       `json:"InitialValue"` // value reported before the first delayed sample
 }
 
 // TableIConfig returns the paper's measurement system: 10 s lag, 8-bit ADC

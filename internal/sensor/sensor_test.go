@@ -148,21 +148,6 @@ func TestDelayLineBufferTrimming(t *testing.T) {
 	}
 }
 
-func TestDelayLineSteadyStateAllocs(t *testing.T) {
-	d, _ := NewDelayLine(10, 25)
-	for i := 0; i < 100; i++ {
-		d.Sample(units.Seconds(i), float64(i)) // warm the ring capacity
-	}
-	next := units.Seconds(100)
-	allocs := testing.AllocsPerRun(1000, func() {
-		d.Sample(next, float64(next))
-		next++
-	})
-	if allocs != 0 {
-		t.Errorf("steady-state Sample allocates %.1f times per call, want 0", allocs)
-	}
-}
-
 func TestGaussianNoiseStats(t *testing.T) {
 	g, err := NewGaussianNoise(0.5, 42)
 	if err != nil {

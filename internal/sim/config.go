@@ -27,47 +27,52 @@ import (
 // Config collects every physical and platform parameter of the simulated
 // server. Default() returns the Table I calibration; all experiments start
 // from it and override only what they study.
+//
+// Every field carries a same-name json tag: the scenario store keys cells
+// by the SHA-256 of the spec's canonical JSON, so the tags pin the wire
+// names — a field rename without a deliberate tag change would silently
+// move every store key (enforced by the hashedfield analyzer).
 type Config struct {
 	// CPU power model (Eq. 1): Table I P_idle = 96 W, P_max = 160 W.
-	CPUIdlePower units.Watt
-	CPUMaxPower  units.Watt
+	CPUIdlePower units.Watt `json:"CPUIdlePower"`
+	CPUMaxPower  units.Watt `json:"CPUMaxPower"`
 
 	// Fan: Table I 29.4 W per socket at 8500 rpm.
-	FanMaxPower units.Watt
-	FanMaxSpeed units.RPM
-	FanMinSpeed units.RPM
+	FanMaxPower units.Watt `json:"FanMaxPower"`
+	FanMaxSpeed units.RPM  `json:"FanMaxSpeed"`
+	FanMinSpeed units.RPM  `json:"FanMinSpeed"`
 	// FanSlewPerSec bounds how fast the physical fan tracks its command.
-	FanSlewPerSec units.RPM
+	FanSlewPerSec units.RPM `json:"FanSlewPerSec"`
 
 	// Thermal model: Table I heat-sink law, 60 s sink time constant at
 	// max air flow, 0.1 s die time constant; R_die per DESIGN.md.
-	HeatSinkLaw thermal.HeatSinkLaw
-	SinkTau     units.Seconds
-	DieRes      units.KPerW
-	DieTau      units.Seconds
-	Ambient     units.Celsius
+	HeatSinkLaw thermal.HeatSinkLaw `json:"HeatSinkLaw"`
+	SinkTau     units.Seconds       `json:"SinkTau"`
+	DieRes      units.KPerW         `json:"DieRes"`
+	DieTau      units.Seconds       `json:"DieTau"`
+	Ambient     units.Celsius       `json:"Ambient"`
 
 	// Measurement chain (Sec. I): 10 s I2C lag, 8-bit ADC (1 °C step).
-	Sensor sensor.Config
+	Sensor sensor.Config `json:"Sensor"`
 
 	// TLimit is the comfort-zone boundary the controllers enforce (the
 	// paper's "safe operating region, e.g. < 80 °C"); time above it is
 	// reported as a metric but delivery is not clamped there — keeping
 	// the die inside the zone is the DTM's job, not the platform's.
-	TLimit units.Celsius
+	TLimit units.Celsius `json:"TLimit"`
 	// TProtect is the silicon protection threshold: above it the
 	// platform force-throttles delivered utilization to EmergencyCap
 	// regardless of the policy. Real firmware keeps this well above the
 	// comfort zone.
-	TProtect     units.Celsius
-	EmergencyCap units.Utilization
+	TProtect     units.Celsius     `json:"TProtect"`
+	EmergencyCap units.Utilization `json:"EmergencyCap"`
 
 	// Tick is the engine step and CPU control interval (Table I: 1 s).
-	Tick units.Seconds
+	Tick units.Seconds `json:"Tick"`
 
 	// NSockets scales reported power; the paper's balanced-workload
 	// assumption makes all sockets identical.
-	NSockets int
+	NSockets int `json:"NSockets"`
 }
 
 // Default returns the Table I configuration with DESIGN.md calibration.

@@ -25,10 +25,12 @@ type RunConfig struct {
 	WarmStart *WarmPoint
 }
 
-// WarmPoint is a steady-state initial operating condition.
+// WarmPoint is a steady-state initial operating condition. The json tags
+// mirror the field names: warm starts are hashed into scenario store keys
+// (repolint: hashedfield).
 type WarmPoint struct {
-	Util units.Utilization
-	Fan  units.RPM
+	Util units.Utilization `json:"Util"`
+	Fan  units.RPM         `json:"Fan"`
 }
 
 // Metrics are the paper's evaluation quantities for one run.

@@ -353,34 +353,6 @@ func TestLockstepEmpty(t *testing.T) {
 	}
 }
 
-// TestLockstepWarmRunNoAllocs: a warm re-step at one worker must not touch
-// the heap — the property the fleet fixed point's per-pass cost rests on.
-func TestLockstepWarmRunNoAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("allocation counts are unreliable under the race detector")
-	}
-	jobs := lockstepJobs(t, 4)
-	for i := range jobs {
-		jobs[i].Config.Record = false
-		jobs[i].Config.RecordPower = true
-	}
-	ls, err := NewLockstep(jobs, BatchOptions{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := ls.Run(); err != nil { // warm caches, ring buffers, series
-		t.Fatal(err)
-	}
-	avg := testing.AllocsPerRun(3, func() {
-		if _, err := ls.Run(); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg != 0 {
-		t.Errorf("warm lockstep Run allocates %v per pass, want 0", avg)
-	}
-}
-
 // TestLockstepDemandScale: a unit scale is bit-transparent, a fractional
 // scale multiplies the effective demand (clamped at full load), and the
 // precompiled schedule itself — possibly shared between lanes — is never

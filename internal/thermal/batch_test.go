@@ -166,20 +166,3 @@ func TestBatchNetworkValidation(t *testing.T) {
 		t.Error("non-positive step accepted")
 	}
 }
-
-// TestBatchNetworkStepNoAllocs: the lockstep integrator must be
-// allocation-free after the first Step.
-func TestBatchNetworkStepNoAllocs(t *testing.T) {
-	bn, _ := buildPair(t, 6, 8)
-	if err := bn.Step(1); err != nil {
-		t.Fatal(err)
-	}
-	avg := testing.AllocsPerRun(100, func() {
-		if err := bn.Step(1); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg != 0 {
-		t.Errorf("BatchNetwork.Step allocates %v per call, want 0", avg)
-	}
-}

@@ -21,9 +21,11 @@ import (
 // falls with air flow, steeply at low speed — the nonlinearity that
 // motivates the adaptive PID controller.
 type HeatSinkLaw struct {
-	R0 units.KPerW // resistance floor at infinite flow
-	A  float64     // numerator of the speed-dependent term
-	B  float64     // speed exponent
+	// The json tags mirror the field names: the law is hashed into
+	// scenario store keys through sim.Config (repolint: hashedfield).
+	R0 units.KPerW `json:"R0"` // resistance floor at infinite flow
+	A  float64     `json:"A"`  // numerator of the speed-dependent term
+	B  float64     `json:"B"`  // speed exponent
 }
 
 // TableIHeatSinkLaw returns the law with the paper's Table I constants.

@@ -340,18 +340,3 @@ func TestSpikyScheduleMatchesScan(t *testing.T) {
 		}
 	}
 }
-
-func TestSpikyAtAllocationFree(t *testing.T) {
-	sp, err := NewSpiky(Constant{U: 0.1}, PeriodicSpikes(5, 30, 10, 0.9, 100))
-	if err != nil {
-		t.Fatal(err)
-	}
-	tm := units.Seconds(0)
-	allocs := testing.AllocsPerRun(1000, func() {
-		sp.At(tm)
-		tm++
-	})
-	if allocs != 0 {
-		t.Errorf("Spiky.At allocates %.1f times per call, want 0", allocs)
-	}
-}

@@ -14,10 +14,20 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+# Static-analysis gate: the repo-specific analyzers (determinism,
+# map-order, ambient-read, scratch-alias, hash-coverage) must be clean
+# before anything heavier runs.
+go run ./cmd/repolint
+
 go vet ./...
 go build ./...
 go test -race ./...
 go test -run xxx -bench . -benchtime 1x -benchmem .
+
+# Zero-allocation contracts: the consolidated table (zeroalloc_test.go)
+# is built out of the -race run by its build tag (AllocsPerRun is
+# unreliable under the race detector), so assert it explicitly here.
+go test -run TestZeroAllocContracts .
 
 # Lockstep-vs-batch equivalence smoke: the lockstep engine must stay
 # bit-identical to RunBatch (and the fleet fixed point to its per-pass
@@ -97,7 +107,7 @@ sed 's/ *hit$//; s/ *miss$//; s/[0-9]* hits, [0-9]* misses//; s/simulated [0-9]*
 diff "$fault_store/first.norm" "$fault_store/second.norm"
 
 # Perf-trajectory gate: fresh trajectory numbers against the committed
-# PR 5 baseline via benchjson -compare (the gate ratchets: each PR
+# PR 6 baseline via benchjson -compare (the gate ratchets: each PR
 # appends BENCH_PR<n>.json and the next gates against it). The
 # threshold is deliberately wide (60%): this 1-core shared container
 # drifts 15-35% between sessions on bit-identical hot paths (measured
@@ -106,4 +116,4 @@ diff "$fault_store/first.norm" "$fault_store/second.norm"
 # deterministic — are judged by the same factor against integer counts,
 # so any alloc creep on a 0-alloc path fails regardless.
 go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
-go run ./cmd/benchjson -compare BENCH_PR5.json -threshold 0.60 < "$store_dir/bench.out"
+go run ./cmd/benchjson -compare BENCH_PR6.json -threshold 0.60 < "$store_dir/bench.out"
