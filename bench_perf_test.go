@@ -224,6 +224,67 @@ func BenchmarkFaultChain(b *testing.B) {
 	}
 }
 
+// votingSensorChain swaps the clean sensor chain for the fault-tolerant
+// array: three replicas of the full non-ideal chain (per-replica seeds,
+// the stuck window wedging replica 0 only, as the scenario layer wires
+// it) fused by a sensor.Redundant median voter. Shared by
+// BenchmarkVotingChain and the voting-chain row of
+// TestZeroAllocContracts.
+func votingSensorChain(cfg sim.Config, server *sim.PhysicalServer) error {
+	chains := make([]sensor.Stage, 3)
+	for j := range chains {
+		base, err := sensor.New(cfg.Sensor)
+		if err != nil {
+			return err
+		}
+		place, err := sensor.NewPlacementOffset(0.05)
+		if err != nil {
+			return err
+		}
+		calib, err := sensor.NewCalibrationBias(4, 42+int64(j))
+		if err != nil {
+			return err
+		}
+		slew, err := sensor.NewSlewLimit(0.5)
+		if err != nil {
+			return err
+		}
+		drop, err := sensor.NewDropout(0.2, 7+int64(j))
+		if err != nil {
+			return err
+		}
+		stages := []sensor.Stage{place, calib, slew, base, drop}
+		if j == 0 {
+			stuck, err := sensor.NewStuckAt(120, 240)
+			if err != nil {
+				return err
+			}
+			stages = append(stages, stuck)
+		}
+		chains[j] = sensor.NewPipeline(stages...)
+	}
+	red, err := sensor.NewRedundant(sensor.RedundantConfig{
+		RangeMin: cfg.Sensor.RangeMin, RangeMax: cfg.Sensor.RangeMax,
+	}, chains...)
+	if err != nil {
+		return err
+	}
+	return server.ReplaceSensor(sensor.NewPipeline(red))
+}
+
+// BenchmarkVotingChain measures the closed-loop tick with the redundant
+// three-replica voting array in the sensor path — the worst-case sensing
+// cost the scenario layer can configure. The acceptance bar is the same
+// as ServerTick: zero allocs/op.
+func BenchmarkVotingChain(b *testing.B) {
+	h := newTickHarnessSensor(b, votingSensorChain)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.step()
+	}
+}
+
 // BenchmarkEngineThroughput measures sim.Run end to end on a Table
 // III-shaped hour and reports ticks per wall second; allocations here
 // include the unavoidable per-run setup (traces off).

@@ -15,7 +15,8 @@ import (
 // builtinFaultTargets returns the named campaign target stacks. Fleet
 // targets use explicit node lists (per-node fault injection needs them);
 // the faulted node is always the first one — a single bad sensor in an
-// otherwise healthy stack.
+// otherwise healthy stack — and the hot aisle (n2, n3) shares one
+// telemetry bus, the segment that dies in segment-type cells.
 func builtinFaultTargets(duration float64, workers int) map[string]scenario.FaultTarget {
 	rackNodes := func() []scenario.FleetNode {
 		return []scenario.FleetNode{
@@ -65,6 +66,7 @@ func builtinFaultTargets(duration float64, workers int) map[string]scenario.Faul
 				Fleet:    &scenario.FleetSpec{Nodes: rackNodes()},
 				Workers:  workers,
 			},
+			Segment: []string{"n2", "n3"},
 		},
 		"fleetcoord": {
 			Name: "fleetcoord",
@@ -75,15 +77,20 @@ func builtinFaultTargets(duration float64, workers int) map[string]scenario.Faul
 				Fleet:    &scenario.FleetSpec{Nodes: rackNodes()},
 				Workers:  workers,
 			},
+			Segment: []string{"n2", "n3"},
 		},
 	}
 }
 
 // faultSweepCampaign parses the campaign axes, runs the (resumable)
-// sweep, and prints the per-cell verdict table.
-func faultSweepCampaign(targetsStr, typesStr, sevsStr string, duration float64, seed int64, storeDir string, workers int) error {
+// sweep, and prints the per-cell verdict table. When both sensing stacks
+// are crossed, it also prints the dominance verdict — the robustness
+// claim that redundant voting degrades no worse than the single chain
+// anywhere while costing nothing when healthy.
+func faultSweepCampaign(targetsStr, typesStr, sevsStr, stacksStr string, duration float64, seed int64, storeDir string, workers int) error {
 	builtin := builtinFaultTargets(duration, workers)
 	var targets []scenario.FaultTarget
+	segmentable := false
 	for _, name := range strings.Split(targetsStr, ",") {
 		name = strings.TrimSpace(name)
 		t, ok := builtin[name]
@@ -91,10 +98,21 @@ func faultSweepCampaign(targetsStr, typesStr, sevsStr string, duration float64, 
 			return fmt.Errorf("unknown target %q (want: single|fleet|fleetcoord)", name)
 		}
 		targets = append(targets, t)
+		segmentable = segmentable || len(t.Segment) > 0
 	}
 	var types []string
 	for _, typ := range strings.Split(typesStr, ",") {
-		types = append(types, strings.TrimSpace(typ))
+		typ = strings.TrimSpace(typ)
+		if typ == scenario.FaultSegment && !segmentable {
+			// Keep the default -types usable with jobs-only target lists.
+			fmt.Printf("note: skipping %q cells (no selected target declares a bus segment)\n", typ)
+			continue
+		}
+		types = append(types, typ)
+	}
+	var stacks []string
+	for _, st := range strings.Split(stacksStr, ",") {
+		stacks = append(stacks, strings.TrimSpace(st))
 	}
 	severities, err := parseFloats(sevsStr)
 	if err != nil {
@@ -109,6 +127,7 @@ func faultSweepCampaign(targetsStr, typesStr, sevsStr string, duration float64, 
 		Targets:    targets,
 		Types:      types,
 		Severities: severities,
+		Stacks:     stacks,
 		Seed:       seed,
 	}
 	before := scenario.ProbeSimTicks()
@@ -118,29 +137,41 @@ func faultSweepCampaign(targetsStr, typesStr, sevsStr string, duration float64, 
 	}
 	ticks := scenario.ProbeSimTicks() - before
 
-	fmt.Printf("Fault sweep — graceful degradation under non-ideal sensing (%d target(s) × %d type(s) × %d severit(y/ies), %.0f s horizon)\n\n",
-		len(targets), len(types), len(severities), duration)
+	fmt.Printf("Fault sweep — graceful degradation under non-ideal sensing (%d target(s) × %d stack(s) × %d type(s) × %d severit(y/ies), %.0f s horizon)\n\n",
+		len(targets), len(stacks), len(types), len(severities), duration)
 	fmt.Printf("baselines (fault-free):\n")
-	fmt.Printf("  %-12s %12s %12s %12s %6s\n", "target", "violation(%)", "fanE(kJ)", "Tabove(s)", "cache")
-	for i, b := range res.Baselines {
+	fmt.Printf("  %-12s %-8s %12s %12s %12s %6s\n", "target", "stack", "violation(%)", "fanE(kJ)", "Tabove(s)", "cache")
+	for _, b := range res.Baselines {
 		viol, fanE, above := scenario.HeadlineMetrics(b.Outcome)
-		fmt.Printf("  %-12s %12.2f %12.2f %12.1f %6s\n",
-			targets[i].Name, viol*100, fanE/1000, above, cacheWord(b.Cached))
+		fmt.Printf("  %-12s %-8s %12.2f %12.2f %12.1f %6s\n",
+			b.Target, b.Stack, viol*100, fanE/1000, above, cacheWord(b.Cached))
 	}
 
-	fmt.Printf("\n%-12s %-12s %5s %10s %9s %11s %9s %7s %-13s %6s\n",
-		"target", "fault", "sev", "dViol(%)", "dFan(%)", "dTabove(s)", "violWin", "latch", "verdict", "cache")
+	fmt.Printf("\n%-12s %-8s %-12s %5s %10s %9s %11s %9s %7s %-13s %6s\n",
+		"target", "stack", "fault", "sev", "dViol(%)", "dFan(%)", "dTabove(s)", "violWin", "latch", "verdict", "cache")
 	counts := map[scenario.Verdict]int{}
 	for _, c := range res.Cells {
 		d := c.Degradation
-		fmt.Printf("%-12s %-12s %5.2f %10.2f %9.2f %11.1f %9.2f %7.2f %-13s %6s\n",
-			c.Target, c.Type, c.Severity,
+		fmt.Printf("%-12s %-8s %-12s %5.2f %10.2f %9.2f %11.1f %9.2f %7.2f %-13s %6s\n",
+			c.Target, c.Stack, c.Type, c.Severity,
 			d.DViolationFrac*100, d.DFanEnergyRel*100, d.DTimeAboveS,
 			d.MaxViolWindow, d.LatchFrac, c.Verdict, cacheWord(c.Cached))
 		counts[c.Verdict]++
 	}
 	fmt.Printf("\nverdicts: %d graceful, %d degraded, %d pathological\n",
 		counts[scenario.VerdictGraceful], counts[scenario.VerdictDegraded], counts[scenario.VerdictPathological])
+	hasFull, hasVoting := false, false
+	for _, st := range stacks {
+		hasFull = hasFull || st == scenario.StackFull
+		hasVoting = hasVoting || st == scenario.StackVoting
+	}
+	if hasFull && hasVoting {
+		dominates, reasons := res.Dominance(scenario.StackVoting, scenario.StackFull, 0.01)
+		fmt.Printf("verdict: voting dominates full: %v\n", dominates)
+		for _, r := range reasons {
+			fmt.Printf("  - %s\n", r)
+		}
+	}
 	if store != nil {
 		fmt.Printf("store %s: %d hits, %d misses\n", store.Dir(), res.Hits, res.Misses)
 	}

@@ -136,6 +136,7 @@ func main() {
 		fsTargets    string
 		fsTypes      string
 		fsSeverities string
+		fsStacks     string
 		fsDuration   float64
 		fsSeed       int64
 		fsWorkers    int
@@ -250,12 +251,13 @@ func main() {
 		fs.StringVar(&fsTargets, "targets", "single,fleet,fleetcoord", "target control stacks")
 		fs.StringVar(&fsTypes, "types", strings.Join(scenario.FaultTypes(), ","), "fault types")
 		fs.StringVar(&fsSeverities, "severities", "0.25,0.5,1", "fault severities in (0, 1]")
+		fs.StringVar(&fsStacks, "stacks", "full", "sensing stacks to cross (full,voting)")
 		fs.Float64Var(&fsDuration, "duration", 600, "per-cell horizon in seconds")
 		fs.Int64Var(&fsSeed, "seed", 42, "campaign seed for the seeded fault stages")
 		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (optional)")
 		fs.IntVar(&fsWorkers, "workers", 0, "engine worker cap (0 = all cores; results identical)")
 	}, func() error {
-		return faultSweepCampaign(fsTargets, fsTypes, fsSeverities, fsDuration, fsSeed, storeDir, fsWorkers)
+		return faultSweepCampaign(fsTargets, fsTypes, fsSeverities, fsStacks, fsDuration, fsSeed, storeDir, fsWorkers)
 	})
 	var storeCmd *command
 	storeCmd = newCommandArgs("store", "inspect a result store (action: ls)", func(fs *flag.FlagSet) {

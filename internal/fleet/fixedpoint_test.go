@@ -123,7 +123,11 @@ func TestFixedPointMatchesNaiveRebuild(t *testing.T) {
 // offset, slew limiter, dropout) must relax identically whether the rack
 // holds one warm lockstep instance — stage state surviving only through
 // Reset between passes — or rebuilds every node from scratch each pass.
-// A stage whose Reset leaks state across passes diverges here.
+// A stage whose Reset leaks state across passes diverges here. A second
+// node fuses three replica chains through a sensor.Redundant voter, the
+// deepest stateful stack the scenario layer builds (per-replica fault
+// state plus the voter's hold/disagree counters), so the voter's Reset
+// contract is exercised through the rack relaxation too.
 func TestFixedPointFaultedServerMatchesNaiveRebuild(t *testing.T) {
 	cfg := testRack(t, 4, 3)
 	cfg.RecircPasses = 2
@@ -149,6 +153,43 @@ func TestFixedPointFaultedServerMatchesNaiveRebuild(t *testing.T) {
 			return nil, err
 		}
 		if err := server.ReplaceSensor(sensor.NewPipeline(place, slew, base, drop)); err != nil {
+			return nil, err
+		}
+		return server, nil
+	}
+	cfg.Nodes[1].Server = func(c sim.Config) (*sim.PhysicalServer, error) {
+		server, err := sim.NewPhysicalServer(c)
+		if err != nil {
+			return nil, err
+		}
+		chains := make([]sensor.Stage, 3)
+		for j := range chains {
+			scfg := c.Sensor
+			base, err := sensor.New(scfg)
+			if err != nil {
+				return nil, err
+			}
+			drop, err := sensor.NewDropout(0.25, int64(100+j))
+			if err != nil {
+				return nil, err
+			}
+			if j == 0 {
+				stuck, err := sensor.NewStuckAt(60, 200)
+				if err != nil {
+					return nil, err
+				}
+				chains[j] = sensor.NewPipeline(base, drop, stuck)
+				continue
+			}
+			chains[j] = sensor.NewPipeline(base, drop)
+		}
+		red, err := sensor.NewRedundant(sensor.RedundantConfig{
+			RangeMin: c.Sensor.RangeMin, RangeMax: c.Sensor.RangeMax,
+		}, chains...)
+		if err != nil {
+			return nil, err
+		}
+		if err := server.ReplaceSensor(sensor.NewPipeline(red)); err != nil {
 			return nil, err
 		}
 		return server, nil

@@ -188,21 +188,52 @@ const (
 	FaultPlacement   = "placement"
 	FaultCalibration = "calibration"
 	FaultSlew        = "slew"
+	// FaultSegment is the correlated bus failure: the cell injects the
+	// fault as a BusSegment over the target's declared segment nodes, so
+	// every member's telemetry degrades simultaneously. Fleet targets
+	// with a Segment declaration only.
+	FaultSegment = "segment"
 )
 
 // FaultTypes returns the campaign fault type names in severity-ladder
 // order.
 func FaultTypes() []string {
-	return []string{FaultStuck, FaultDropout, FaultPlacement, FaultCalibration, FaultSlew}
+	return []string{FaultStuck, FaultDropout, FaultPlacement, FaultCalibration, FaultSlew, FaultSegment}
 }
 
 // FaultSpecFor maps (fault type, severity) onto concrete FaultSpec
 // scalars for a run of the given duration. Severity is unitless in
-// (0, 1]: 1 is the worst the ladder injects — a stuck window covering
-// half the run, a 90% dropout rate, an 8 degC calibration sigma, a
-// 0.1 degC/W placement error, a 0.02 degC/s slew floor. seed decorrelates
-// the seeded stages (dropout pattern, calibration draw) between
-// campaigns while keeping every cell reproducible.
+// (0, 1]; seed decorrelates the seeded stages (dropout pattern,
+// calibration draw) between campaigns while keeping every cell
+// reproducible.
+//
+// The silicon-side rungs are calibrated against Rotem et al.'s measured
+// Core Duo sensor-error distributions ("Temperature measurement in the
+// Intel Core Duo processor"; also PAPER.md Sec. I), severity 1 = the
+// worst error class they report:
+//
+//	ladder rung          severity 1 value   measured anchor
+//	-----------------    ----------------   ------------------------------
+//	calibration sigma    4 degC             part-to-part offset spread at a
+//	                                        fixed test point: +/-8 degC
+//	                                        worst case ~= a 2-sigma draw
+//	                                        from N(0, 4^2)
+//	placement coeff      0.25 degC/W        hotspot-to-diode gradient: up
+//	                                        to ~8 degC under a ~32 W power
+//	                                        virus => 0.25 degC/W of
+//	                                        instantaneous package power
+//	slew floor           0.02 degC/s        remote-diode + SMBus filtering
+//	                                        time constants (paper Sec. I);
+//	                                        1/severity so rung 1 is the
+//	                                        slowest tracking
+//	stuck window         half the run       transport failure modes, not
+//	dropout rate         0.9                silicon: kept at PR 6's
+//	                                        envelope bounds
+//	segment (lag+drop)   +30 s lag, 0.6     a degraded I2C segment: ~60
+//	                                        sensors' worth of extra bus
+//	                                        occupancy (sensor.DefaultBus
+//	                                        0.5 s/sensor) plus arbitration
+//	                                        loss on most scans
 func FaultSpecFor(faultType string, severity float64, duration units.Seconds, seed int64) (*FaultSpec, error) {
 	if !(severity > 0 && severity <= 1) {
 		return nil, fmt.Errorf("scenario: fault severity %v outside (0, 1]", severity)
@@ -222,14 +253,20 @@ func FaultSpecFor(faultType string, severity float64, duration units.Seconds, se
 			DropoutSeed: stats.SubSeed(seed, 1),
 		}, nil
 	case FaultPlacement:
-		return &FaultSpec{PlacementCoeff: 0.1 * severity}, nil
+		return &FaultSpec{PlacementCoeff: 0.25 * severity}, nil
 	case FaultCalibration:
 		return &FaultSpec{
-			CalibSigma: 8 * severity,
+			CalibSigma: 4 * severity,
 			CalibSeed:  stats.SubSeed(seed, 2),
 		}, nil
 	case FaultSlew:
 		return &FaultSpec{SlewLimitCPerS: 0.02 / severity}, nil
+	case FaultSegment:
+		return &FaultSpec{
+			AddedLagS:   units.Seconds(30 * severity),
+			DropoutRate: 0.6 * severity,
+			DropoutSeed: stats.SubSeed(seed, 3),
+		}, nil
 	}
 	return nil, fmt.Errorf("scenario: unknown fault type %q (known: %v)", faultType, FaultTypes())
 }
@@ -240,14 +277,39 @@ func FaultSpecFor(faultType string, severity float64, duration units.Seconds, se
 type FaultTarget struct {
 	Name string
 	Spec Spec
+	// Segment names the explicit fleet nodes sharing one telemetry bus
+	// for FaultSegment cells. Empty opts the target out of segment-type
+	// cells; non-empty requires a fleet-kind spec.
+	Segment []string
 }
 
-// FaultCampaign crosses fault types x severities x targets into a grid of
-// faultsweep cells plus one fault-free baseline per target.
+// The campaign control-stack (sensing) variants: the ordinary
+// single-chain stack, and the redundant voting stack (Spec.Voting armed
+// on every unit, fail-safe policy wrap included).
+const (
+	StackFull   = "full"
+	StackVoting = "voting"
+)
+
+// FaultStacks returns the stack variant names a campaign can cross.
+func FaultStacks() []string { return []string{StackFull, StackVoting} }
+
+// DefaultVoting is the voting block campaigns arm when none is given:
+// triple-redundant sensing with the sensor-package fusion defaults.
+func DefaultVoting() *VotingSpec { return &VotingSpec{Sensors: 3} }
+
+// FaultCampaign crosses fault types x severities x targets x stacks into
+// a grid of faultsweep cells plus one fault-free baseline per
+// (target, stack).
 type FaultCampaign struct {
 	Targets    []FaultTarget
 	Types      []string
 	Severities []float64
+	// Stacks selects the sensing variants (StackFull / StackVoting); nil
+	// means {full}.
+	Stacks []string
+	// Voting parameterizes the voting stack; nil means DefaultVoting().
+	Voting *VotingSpec
 	// Seed decorrelates the seeded fault stages between campaigns.
 	Seed int64
 }
@@ -308,9 +370,11 @@ func Classify(d Degradation) Verdict {
 }
 
 // FaultCell is one campaign grid point: the faulted cell, its store
-// accounting, and the classified damage against the target's baseline.
+// accounting, and the classified damage against the (target, stack)
+// baseline.
 type FaultCell struct {
 	Target      string
+	Stack       string
 	Type        string
 	Severity    float64
 	Key         string
@@ -320,13 +384,25 @@ type FaultCell struct {
 	Verdict     Verdict
 }
 
+// FaultBaseline is one fault-free (target, stack) run.
+type FaultBaseline struct {
+	Target  string
+	Stack   string
+	Key     string
+	Cached  bool
+	Outcome *Outcome
+}
+
 // FaultSweepResult bundles the campaign's baselines, classified cells,
 // and cache accounting (baselines included).
 type FaultSweepResult struct {
-	// Baselines are the fault-free target runs, in target order.
-	Baselines []SweepCell
-	// Cells are the faulted grid points, target-major then type then
-	// severity, matching the campaign declaration order.
+	// Baselines are the fault-free runs, target-major then stack,
+	// matching the campaign declaration order.
+	Baselines []FaultBaseline
+	// Cells are the faulted grid points, target-major then stack then
+	// type then severity. Segment-type points exist only for targets
+	// with a Segment declaration; the grid simply has no cell there for
+	// the others.
 	Cells  []FaultCell
 	Hits   int
 	Misses int
@@ -336,9 +412,12 @@ type FaultSweepResult struct {
 // target's spec with the fault chain injected into its first job or
 // first node (one bad sensor in an otherwise healthy stack — the rack
 // case shows whether recirculation and the coordinator spread or contain
-// the damage). The returned spec's store key is independent of the
-// baseline's, while every fault-free spec keeps its existing-kind key.
-func FaultCellSpec(t FaultTarget, faultType string, severity float64, seed int64) (Spec, error) {
+// the damage), or — for FaultSegment — as a BusSegment over the target's
+// declared segment nodes, degrading every member's telemetry at once.
+// The voting stack arms the voting block on top (nil voting = the full
+// stack). The returned spec's store key is independent of the baseline's,
+// while every fault-free full-stack spec keeps its existing-kind key.
+func FaultCellSpec(t FaultTarget, faultType string, severity float64, seed int64, voting *VotingSpec) (Spec, error) {
 	f, err := FaultSpecFor(faultType, severity, t.Spec.Duration, seed)
 	if err != nil {
 		return Spec{}, err
@@ -346,21 +425,42 @@ func FaultCellSpec(t FaultTarget, faultType string, severity float64, seed int64
 	s := t.Spec
 	s.Kind = KindFaultSweep
 	s.Name = fmt.Sprintf("%s/%s@%g", t.Name, faultType, severity)
+	s.Voting = voting
+	if voting != nil {
+		s.Name += "+voting"
+	}
+	fleetTarget := false
 	switch t.Spec.Kind {
 	case KindSingle, KindBatch, KindLockstep:
 		if len(s.Jobs) == 0 {
 			return Spec{}, fmt.Errorf("scenario: fault target %q has no jobs", t.Name)
 		}
+		if faultType == FaultSegment {
+			return Spec{}, fmt.Errorf("scenario: fault target %q is a jobs target (segment faults need a fleet rack)", t.Name)
+		}
 		jobs := append([]JobSpec(nil), s.Jobs...)
 		jobs[0].Faults = f
 		s.Jobs = jobs
 	case KindFleet, KindFleetCoord:
+		fleetTarget = true
 		if s.Fleet == nil || len(s.Fleet.Nodes) == 0 {
 			return Spec{}, fmt.Errorf("scenario: fault target %q needs explicit fleet nodes", t.Name)
 		}
 		fl := *s.Fleet
 		fl.Nodes = append([]FleetNode(nil), fl.Nodes...)
-		fl.Nodes[0].Faults = f
+		if faultType == FaultSegment {
+			if len(t.Segment) == 0 {
+				return Spec{}, fmt.Errorf("scenario: fault target %q declares no segment nodes", t.Name)
+			}
+			fl.Segments = append([]BusSegment(nil), fl.Segments...)
+			fl.Segments = append(fl.Segments, BusSegment{
+				Name:   "bus0",
+				Nodes:  t.Segment,
+				Faults: f,
+			})
+		} else {
+			fl.Nodes[0].Faults = f
+		}
 		s.Fleet = &fl
 		if t.Spec.Kind == KindFleetCoord {
 			p := Params{"coordinated": 1}
@@ -372,19 +472,75 @@ func FaultCellSpec(t FaultTarget, faultType string, severity float64, seed int64
 	default:
 		return Spec{}, fmt.Errorf("scenario: fault target %q has unsupported kind %q", t.Name, t.Spec.Kind)
 	}
+	if len(t.Segment) > 0 && !fleetTarget {
+		return Spec{}, fmt.Errorf("scenario: fault target %q declares segment nodes but is not a fleet target", t.Name)
+	}
 	return s, nil
 }
 
-// FaultSweep runs the campaign with store-backed resume: baselines first,
-// then every faulted cell, each looked up by content hash before
-// executing (killing a campaign loses at most the in-flight cell; the
-// rerun simulates zero ticks for finished cells). Every cell is then
-// compared against its target's baseline and classified.
+// stackVoting resolves a stack name to the voting block armed on its
+// specs: nil for the full stack, the campaign's (or default) block for
+// the voting stack.
+func (c *FaultCampaign) stackVoting(stack string) (*VotingSpec, error) {
+	switch stack {
+	case StackFull:
+		return nil, nil
+	case StackVoting:
+		if c.Voting != nil {
+			return c.Voting, nil
+		}
+		return DefaultVoting(), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown fault stack %q (known: %v)", stack, FaultStacks())
+}
+
+// FaultSweep runs the campaign with store-backed resume: baselines first
+// (one per target x stack), then every faulted cell, each looked up by
+// content hash before executing (killing a campaign loses at most the
+// in-flight cell; the rerun simulates zero ticks for finished cells).
+// Every cell is then compared against its (target, stack) baseline and
+// classified. Segment-type cells run only on targets declaring Segment
+// nodes; a campaign whose Types include FaultSegment with no such target
+// is an error rather than a silently empty column.
 func FaultSweep(c FaultCampaign, store *Store) (*FaultSweepResult, error) {
 	if len(c.Targets) == 0 || len(c.Types) == 0 || len(c.Severities) == 0 {
 		return nil, fmt.Errorf("scenario: fault campaign needs targets, types and severities")
 	}
-	specs := make([]Spec, 0, len(c.Targets)*(1+len(c.Types)*len(c.Severities)))
+	stacks := c.Stacks
+	if len(stacks) == 0 {
+		stacks = []string{StackFull}
+	}
+	seen := make(map[string]bool, len(stacks))
+	votingFor := make(map[string]*VotingSpec, len(stacks))
+	for _, st := range stacks {
+		if seen[st] {
+			return nil, fmt.Errorf("scenario: fault campaign lists stack %q twice", st)
+		}
+		seen[st] = true
+		v, err := c.stackVoting(st)
+		if err != nil {
+			return nil, err
+		}
+		votingFor[st] = v
+	}
+	segmentable := 0
+	for _, t := range c.Targets {
+		if len(t.Segment) > 0 {
+			segmentable++
+		}
+	}
+	for _, typ := range c.Types {
+		if typ == FaultSegment && segmentable == 0 {
+			return nil, fmt.Errorf("scenario: campaign includes %q cells but no target declares Segment nodes", FaultSegment)
+		}
+	}
+
+	specs := make([]Spec, 0, len(c.Targets)*len(stacks)*(1+len(c.Types)*len(c.Severities)))
+	type baseMeta struct {
+		target string
+		stack  string
+	}
+	bmetas := make([]baseMeta, 0, len(c.Targets)*len(stacks))
 	for _, t := range c.Targets {
 		if err := t.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: fault target %q: %w", t.Name, err)
@@ -392,23 +548,37 @@ func FaultSweep(c FaultCampaign, store *Store) (*FaultSweepResult, error) {
 		if faulted(t.Spec) {
 			return nil, fmt.Errorf("scenario: fault target %q already carries faults (baselines must be fault-free)", t.Name)
 		}
-		specs = append(specs, t.Spec)
+		if t.Spec.Voting != nil {
+			return nil, fmt.Errorf("scenario: fault target %q already arms voting (the campaign's Stacks control it)", t.Name)
+		}
+		for _, st := range stacks {
+			b := t.Spec
+			b.Voting = votingFor[st]
+			specs = append(specs, b)
+			bmetas = append(bmetas, baseMeta{t.Name, st})
+		}
 	}
 	type cellMeta struct {
 		target   string
+		stack    string
 		typ      string
 		severity float64
 	}
-	metas := make([]cellMeta, 0, len(c.Targets)*len(c.Types)*len(c.Severities))
+	metas := make([]cellMeta, 0, len(c.Targets)*len(stacks)*len(c.Types)*len(c.Severities))
 	for _, t := range c.Targets {
-		for _, typ := range c.Types {
-			for _, sev := range c.Severities {
-				cell, err := FaultCellSpec(t, typ, sev, c.Seed)
-				if err != nil {
-					return nil, err
+		for _, st := range stacks {
+			for _, typ := range c.Types {
+				if typ == FaultSegment && len(t.Segment) == 0 {
+					continue
 				}
-				specs = append(specs, cell)
-				metas = append(metas, cellMeta{t.Name, typ, sev})
+				for _, sev := range c.Severities {
+					cell, err := FaultCellSpec(t, typ, sev, c.Seed, votingFor[st])
+					if err != nil {
+						return nil, err
+					}
+					specs = append(specs, cell)
+					metas = append(metas, cellMeta{t.Name, st, typ, sev})
+				}
 			}
 		}
 	}
@@ -417,18 +587,26 @@ func FaultSweep(c FaultCampaign, store *Store) (*FaultSweepResult, error) {
 		return nil, err
 	}
 	res := &FaultSweepResult{
-		Baselines: sw.Cells[:len(c.Targets)],
+		Baselines: make([]FaultBaseline, len(bmetas)),
 		Cells:     make([]FaultCell, len(metas)),
 		Hits:      sw.Hits,
 		Misses:    sw.Misses,
 	}
-	baseline := make(map[string]*Outcome, len(c.Targets))
-	for i, t := range c.Targets {
-		baseline[t.Name] = res.Baselines[i].Outcome
+	baseline := make(map[baseMeta]*Outcome, len(bmetas))
+	for i, bm := range bmetas {
+		cell := sw.Cells[i]
+		res.Baselines[i] = FaultBaseline{
+			Target:  bm.target,
+			Stack:   bm.stack,
+			Key:     cell.Key,
+			Cached:  cell.Cached,
+			Outcome: cell.Outcome,
+		}
+		baseline[bm] = cell.Outcome
 	}
 	for i, m := range metas {
-		cell := sw.Cells[len(c.Targets)+i]
-		bViol, bFanE, bAbove := HeadlineMetrics(baseline[m.target])
+		cell := sw.Cells[len(bmetas)+i]
+		bViol, bFanE, bAbove := HeadlineMetrics(baseline[baseMeta{m.target, m.stack}])
 		viol, fanE, above := HeadlineMetrics(cell.Outcome)
 		d := Degradation{
 			DViolationFrac: viol - bViol,
@@ -442,6 +620,7 @@ func FaultSweep(c FaultCampaign, store *Store) (*FaultSweepResult, error) {
 		}
 		res.Cells[i] = FaultCell{
 			Target:      m.target,
+			Stack:       m.stack,
 			Type:        m.typ,
 			Severity:    m.severity,
 			Key:         cell.Key,
@@ -452,6 +631,99 @@ func FaultSweep(c FaultCampaign, store *Store) (*FaultSweepResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// verdictRank orders verdicts for dominance comparison.
+func verdictRank(v Verdict) int {
+	switch v {
+	case VerdictGraceful:
+		return 0
+	case VerdictDegraded:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Dominance checks the campaign's robustness claim: at every shared
+// (target, type, severity) grid point, stack a is never pathological
+// where stack b is not, and its violation *degradation* is no higher,
+// while the clean baselines agree on fan energy within cleanFanTol
+// (relative) — the voter must not buy robustness by burning fan power
+// when healthy. Degradation is max(0, dViol): a negative delta means the
+// fault accidentally overcooled (e.g. a calibration draw that reads
+// high), which is luck, not robustness, so both sides clamp to "no
+// degradation". The graceful/degraded boundary is deliberately not
+// compared — a lucky overcooling draw on one side can flip the
+// multi-metric label while the violation comparison still favours the
+// other (a biased chain that overcools masks its time-above-threshold);
+// only the pathological rank, and the violation metric itself, carry the
+// claim. The epsilon is a tenth of the degraded-verdict threshold:
+// differences an order of magnitude below classification granularity are
+// tie, not defeat. It returns whether a dominates b plus the reasons it
+// does not.
+func (r *FaultSweepResult) Dominance(a, b string, cleanFanTol float64) (bool, []string) {
+	const dViolEps = degradedDViolation / 10
+	var reasons []string
+	baseFan := make(map[string]float64)
+	for _, bl := range r.Baselines {
+		if bl.Stack == b {
+			_, fanE, _ := HeadlineMetrics(bl.Outcome)
+			baseFan[bl.Target] = fanE
+		}
+	}
+	for _, bl := range r.Baselines {
+		if bl.Stack != a {
+			continue
+		}
+		_, fanE, _ := HeadlineMetrics(bl.Outcome)
+		ref, ok := baseFan[bl.Target]
+		if !ok {
+			continue
+		}
+		if ref > 0 {
+			if rel := (fanE - ref) / ref; rel > cleanFanTol || rel < -cleanFanTol {
+				reasons = append(reasons, fmt.Sprintf(
+					"baseline %s: clean fan energy %.0f J vs %.0f J (%.2f%% > %.2f%% tolerance)",
+					bl.Target, fanE, ref, 100*rel, 100*cleanFanTol))
+			}
+		}
+	}
+	type point struct {
+		target   string
+		typ      string
+		severity float64
+	}
+	other := make(map[point]*FaultCell)
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Stack == b {
+			other[point{c.Target, c.Type, c.Severity}] = c
+		}
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Stack != a {
+			continue
+		}
+		o, ok := other[point{c.Target, c.Type, c.Severity}]
+		if !ok {
+			continue
+		}
+		if verdictRank(c.Verdict) > verdictRank(o.Verdict) && c.Verdict == VerdictPathological {
+			reasons = append(reasons, fmt.Sprintf(
+				"%s/%s@%g: %s is %s where %s is %s",
+				c.Target, c.Type, c.Severity, a, c.Verdict, b, o.Verdict))
+		}
+		av := max(0, c.Degradation.DViolationFrac)
+		bv := max(0, o.Degradation.DViolationFrac)
+		if av > bv+dViolEps {
+			reasons = append(reasons, fmt.Sprintf(
+				"%s/%s@%g: %s dViol %.4f > %s dViol %.4f",
+				c.Target, c.Type, c.Severity, a, av, b, bv))
+		}
+	}
+	return len(reasons) == 0, reasons
 }
 
 // faulted reports whether any job or node of the spec carries a fault

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/multicore"
-	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -63,72 +62,46 @@ func init() {
 	RegisterKind(KindMulticore, "three-controller N-core run (multicore.Run)", runMulticore)
 }
 
-// faultServer builds a platform whose sensor chain carries the declarative
-// fault stages: silicon-side error sources (placement offset, calibration
-// bias, slew limit) feed the clean base chain (noise -> ADC -> transport
-// delay), whose output crosses the transport faults (dropout, stuck). Both
-// the sim-kind serverFactory and the fleet node hook route through it.
-func faultServer(cfg sim.Config, spec FaultSpec) (*sim.PhysicalServer, error) {
+// faultServer builds a platform whose sensor path carries the declarative
+// fault chain — silicon-side error sources (placement offset, calibration
+// bias, slew limit) feeding the clean base chain (noise -> ADC -> transport
+// delay), whose output crosses the transport faults (added lag, dropout,
+// stuck) and then any correlated bus-segment stages — replicated and fused
+// by a sensor.Redundant voter when the spec arms voting. Both the sim-kind
+// serverFactory and the fleet node hook route through it. The returned
+// voter (nil unless voting) is published into h for the unit's
+// failSafePolicy.
+func faultServer(cfg sim.Config, f *FaultSpec, segs []*FaultSpec, v *VotingSpec, h *votingHandle) (*sim.PhysicalServer, error) {
 	server, err := sim.NewPhysicalServer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	base, err := sensor.New(cfg.Sensor)
+	pipe, red, err := sensorPipeline(cfg, f, segs, v)
 	if err != nil {
 		return nil, err
 	}
-	var stages []sensor.Stage
-	if spec.PlacementCoeff > 0 {
-		place, err := sensor.NewPlacementOffset(spec.PlacementCoeff)
-		if err != nil {
-			return nil, err
-		}
-		stages = append(stages, place)
-	}
-	if spec.CalibSigma > 0 {
-		calib, err := sensor.NewCalibrationBias(spec.CalibSigma, spec.CalibSeed)
-		if err != nil {
-			return nil, err
-		}
-		stages = append(stages, calib)
-	}
-	if spec.SlewLimitCPerS > 0 {
-		slew, err := sensor.NewSlewLimit(spec.SlewLimitCPerS)
-		if err != nil {
-			return nil, err
-		}
-		stages = append(stages, slew)
-	}
-	stages = append(stages, base)
-	if spec.DropoutRate > 0 {
-		drop, err := sensor.NewDropout(spec.DropoutRate, spec.DropoutSeed)
-		if err != nil {
-			return nil, err
-		}
-		stages = append(stages, drop)
-	}
-	if spec.StuckLen > 0 {
-		stuck, err := sensor.NewStuckAt(spec.StuckAt, spec.StuckAt+spec.StuckLen)
-		if err != nil {
-			return nil, err
-		}
-		stages = append(stages, stuck)
-	}
-	if err := server.ReplaceSensor(sensor.NewPipeline(stages...)); err != nil {
+	if err := server.ReplaceSensor(pipe); err != nil {
 		return nil, err
+	}
+	if h != nil {
+		h.r = red
 	}
 	return server, nil
 }
 
 // serverFactory builds the job's platform factory, wiring the declarative
-// fault chain when the spec asks for it.
-func serverFactory(cfg sim.Config, f *FaultSpec) sim.ServerFactory {
-	if !f.enabled() {
+// fault chain and voting array when the spec asks for them.
+func serverFactory(cfg sim.Config, f *FaultSpec, v *VotingSpec, h *votingHandle) sim.ServerFactory {
+	if !f.enabled() && v == nil {
 		return sim.Factory(cfg)
 	}
-	spec := *f
+	var spec *FaultSpec
+	if f.enabled() {
+		c := *f
+		spec = &c
+	}
 	return func() (*sim.PhysicalServer, error) {
-		return faultServer(cfg, spec)
+		return faultServer(cfg, spec, nil, v, h)
 	}
 }
 
@@ -156,6 +129,11 @@ func (s *Spec) buildSimJobs() ([]sim.Job, []string, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("scenario: job %d (%s): %w", i, j.Name, err)
 		}
+		var h *votingHandle
+		if s.Voting != nil {
+			h = &votingHandle{}
+			pol = &failSafePolicy{inner: pol, h: h, floor: fanFloor(cfg, s.Voting)}
+		}
 		polNames[i] = pol.Name()
 		name := j.Name
 		if name == "" {
@@ -163,7 +141,7 @@ func (s *Spec) buildSimJobs() ([]sim.Job, []string, error) {
 		}
 		jobs[i] = sim.Job{
 			Name:   name,
-			Server: serverFactory(cfg, j.Faults),
+			Server: serverFactory(cfg, j.Faults, s.Voting, h),
 			Config: sim.RunConfig{
 				Duration:    s.Duration,
 				Workload:    gen,
@@ -317,15 +295,57 @@ func (s *Spec) fleetConfig() (fleet.Config, error) {
 				},
 				WarmStart: n.WarmStart,
 			}
-			if n.Faults.enabled() {
-				fspec := *n.Faults
-				cfg.Nodes[i].Server = func(c sim.Config) (*sim.PhysicalServer, error) {
-					return faultServer(c, fspec)
-				}
-			}
 		}
 		cfg.Supply = 24
 		cfg.AisleOffsets = fleet.DefaultOffsets()
+	}
+	// Fault, segment, and voting wiring. Node-level faults and bus
+	// segments exist only on explicit racks (Validate enforces it);
+	// voting arms on generated racks too. Each wired node gets its own
+	// votingHandle so the per-pass-rebuilt failSafePolicy finds the voter
+	// the once-per-run server hook produced.
+	var nodeFaults []*FaultSpec
+	nodeSegs := make(map[string][]*FaultSpec)
+	if fs.Size == 0 {
+		nodeFaults = make([]*FaultSpec, len(fs.Nodes))
+		for i := range fs.Nodes {
+			if fs.Nodes[i].Faults.enabled() {
+				c := *fs.Nodes[i].Faults
+				nodeFaults[i] = &c
+			}
+		}
+		for si := range fs.Segments {
+			c := *fs.Segments[si].Faults
+			for _, name := range fs.Segments[si].Nodes {
+				nodeSegs[name] = append(nodeSegs[name], &c)
+			}
+		}
+	}
+	for i := range cfg.Nodes {
+		var f *FaultSpec
+		if nodeFaults != nil {
+			f = nodeFaults[i]
+		}
+		segs := nodeSegs[cfg.Nodes[i].Name]
+		voting := s.Voting
+		if f == nil && len(segs) == 0 && voting == nil {
+			continue
+		}
+		var h *votingHandle
+		if voting != nil {
+			h = &votingHandle{}
+			inner := cfg.Nodes[i].Policy
+			cfg.Nodes[i].Policy = func(c sim.Config) (sim.Policy, error) {
+				pol, err := inner(c)
+				if err != nil {
+					return nil, err
+				}
+				return &failSafePolicy{inner: pol, h: h, floor: fanFloor(c, voting)}, nil
+			}
+		}
+		cfg.Nodes[i].Server = func(c sim.Config) (*sim.PhysicalServer, error) {
+			return faultServer(c, f, segs, voting, h)
+		}
 	}
 	if fs.Supply != 0 {
 		cfg.Supply = fs.Supply

@@ -137,12 +137,18 @@ type FaultSpec struct {
 	// (degC/s); fast transients are under-reported until the reading
 	// catches up. 0 disables the stage.
 	SlewLimitCPerS float64 `json:"slew_limit_c_per_s,omitempty"`
+	// AddedLagS inserts an extra transport delay after the base chain —
+	// the retry/arbitration latency of a degraded I2C segment (each extra
+	// second is ~2 sensors' worth of bus occupancy under sensor.DefaultBus).
+	// 0 disables the stage.
+	AddedLagS units.Seconds `json:"added_lag_s,omitempty"`
 }
 
 // enabled reports whether the spec injects any fault stage.
 func (f *FaultSpec) enabled() bool {
 	return f != nil && (f.StuckLen > 0 || f.DropoutRate > 0 ||
-		f.PlacementCoeff > 0 || f.CalibSigma > 0 || f.SlewLimitCPerS > 0)
+		f.PlacementCoeff > 0 || f.CalibSigma > 0 || f.SlewLimitCPerS > 0 ||
+		f.AddedLagS > 0)
 }
 
 // validate rejects fault blocks that would either simulate garbage
@@ -160,6 +166,7 @@ func (f *FaultSpec) validate() error {
 		{"placement_coeff", f.PlacementCoeff},
 		{"calib_sigma", f.CalibSigma},
 		{"slew_limit_c_per_s", f.SlewLimitCPerS},
+		{"added_lag_s", float64(f.AddedLagS)},
 	} {
 		if !units.IsFinite(c.v) {
 			return fmt.Errorf("non-finite %s %v", c.name, c.v)
@@ -238,6 +245,11 @@ type FleetSpec struct {
 	Seed   int64    `json:"seed,omitempty"`
 	// Nodes is the explicit rack population when Size == 0.
 	Nodes []FleetNode `json:"nodes,omitempty"`
+	// Segments declares shared telemetry buses over explicit nodes: one
+	// segment failure spec hits every member node's sensor chain (every
+	// replica, when voting is armed) simultaneously. Only meaningful —
+	// and only accepted — with an explicit Nodes list.
+	Segments []BusSegment `json:"segments,omitempty"`
 
 	// Supply is the CRAC supply temperature; zero means 24 °C (the
 	// fleet.Sweep convention).
@@ -289,6 +301,13 @@ type Spec struct {
 	Multicore *MulticoreSpec `json:"multicore,omitempty"`
 	// Params parameterizes custom kinds (registered via RegisterKind).
 	Params Params `json:"params,omitempty"`
+	// Voting arms redundant sensing on every job/node: each sensor chain
+	// is replicated into independently seeded copies fused by median
+	// voting (sensor.Redundant), and every policy gains the fail-safe
+	// fan-floor escalation. Nil runs the ordinary single-chain stack.
+	// Semantic — it changes what every unit measures — so it participates
+	// in the identity hash; kinds that ignore it reject it (Validate).
+	Voting *VotingSpec `json:"voting,omitempty"`
 	// Record captures full per-tick series into the Outcome (memory- and
 	// store-heavy for long runs); RecordPower captures only the
 	// "total_power" series. Both are semantic: they change the Outcome's
@@ -349,12 +368,23 @@ func (s *Spec) Validate() error {
 		if len(s.Jobs) > 0 || s.Fleet != nil || len(s.Params) > 0 {
 			return fmt.Errorf("scenario: multicore spec carries blocks its kind ignores (jobs/fleet/params)")
 		}
+		// The multicore engine has its own per-core sensor model and never
+		// reads Voting — an armed block would split the store cell without
+		// shaping the run (same rule as the inert cross-kind blocks above).
+		if s.Voting != nil {
+			return fmt.Errorf("scenario: multicore spec carries a voting block its kind ignores")
+		}
 	case KindFaultSweep:
 		if s.Multicore != nil {
 			return fmt.Errorf("scenario: faultsweep spec carries a multicore block")
 		}
 		if err := s.validateFaultSweepParams(); err != nil {
 			return err
+		}
+	}
+	if s.Voting != nil {
+		if err := s.Voting.validate(); err != nil {
+			return fmt.Errorf("scenario: voting: %w", err)
 		}
 	}
 	switch s.Kind {
@@ -406,12 +436,12 @@ func (s *Spec) Validate() error {
 			if err := s.validateFleetBlock(); err != nil {
 				return err
 			}
-			ok := false
+			ok := len(s.Fleet.Segments) > 0
 			for i := range s.Fleet.Nodes {
 				ok = ok || s.Fleet.Nodes[i].Faults.enabled()
 			}
 			if !ok {
-				return fmt.Errorf("scenario: faultsweep spec has no faulted node (fault-free cells are plain %s specs)", KindFleet)
+				return fmt.Errorf("scenario: faultsweep spec has no faulted node or segment (fault-free cells are plain %s specs)", KindFleet)
 			}
 		}
 	case KindMulticore:
@@ -476,6 +506,9 @@ func (s *Spec) validateFleetBlock() error {
 		if _, err := parseAisle(a); err != nil {
 			return fmt.Errorf("scenario: fleet layout: %w", err)
 		}
+	}
+	if err := s.validateSegments(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -177,6 +177,46 @@ func TestKeyFleetNodeFaults(t *testing.T) {
 			t.Errorf("node fault %q did not change the key", name)
 		}
 	}
+	// Bus segments are identity too: arming one moves the key, and so
+	// does every semantic edit inside the segment.
+	withSeg := func(f *FaultSpec) Spec {
+		s := mk(nil)
+		s.Fleet.Segments = []BusSegment{{Name: "bus0", Nodes: []string{"n1"}, Faults: f}}
+		return s
+	}
+	segBase := withSeg(&FaultSpec{DropoutRate: 0.3, DropoutSeed: 5})
+	if err := segBase.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	segKey, err := Key(segBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segKey == clean {
+		t.Error("bus segment did not change the key")
+	}
+	for name, s := range map[string]Spec{
+		"segment name": func() Spec {
+			s := withSeg(&FaultSpec{DropoutRate: 0.3, DropoutSeed: 5})
+			s.Fleet.Segments[0].Name = "bus1"
+			return s
+		}(),
+		"segment nodes": func() Spec {
+			s := withSeg(&FaultSpec{DropoutRate: 0.3, DropoutSeed: 5})
+			s.Fleet.Segments[0].Nodes = []string{"n0"}
+			return s
+		}(),
+		"segment fault": withSeg(&FaultSpec{DropoutRate: 0.4, DropoutSeed: 5}),
+		"segment lag":   withSeg(&FaultSpec{DropoutRate: 0.3, DropoutSeed: 5, AddedLagS: 10}),
+	} {
+		k, err := Key(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == segKey {
+			t.Errorf("segment edit %q did not change the key", name)
+		}
+	}
 }
 
 // TestKeyMapOrderInvariant: the hash must not depend on how parameter
@@ -237,6 +277,10 @@ func TestKeyChangesOnSemanticEdits(t *testing.T) {
 		"fault calib":     func(s *Spec) { s.Jobs[1].Faults.CalibSigma = 3 },
 		"fault calibseed": func(s *Spec) { s.Jobs[1].Faults.CalibSigma = 3; s.Jobs[1].Faults.CalibSeed = 7 },
 		"fault slew":      func(s *Spec) { s.Jobs[1].Faults.SlewLimitCPerS = 0.05 },
+		"fault added lag": func(s *Spec) { s.Jobs[1].Faults.AddedLagS = 5 },
+		"voting armed":    func(s *Spec) { s.Voting = &VotingSpec{Sensors: 3} },
+		"voting replicas": func(s *Spec) { s.Voting = &VotingSpec{Sensors: 5} },
+		"voting knob":     func(s *Spec) { s.Voting = &VotingSpec{Sensors: 3, OutlierC: 2} },
 		"job order":       func(s *Spec) { s.Jobs[0], s.Jobs[1] = s.Jobs[1], s.Jobs[0] },
 		"extra job":       func(s *Spec) { s.Jobs = append(s.Jobs, s.Jobs[0]) },
 		"job config":      func(s *Spec) { c := sim.Default(); s.Jobs[0].Config = &c },

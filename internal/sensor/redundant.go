@@ -1,0 +1,374 @@
+package sensor
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Health is the fused sensor's self-assessment, exported so the policy
+// layer can escalate: OK while a quorum of plausible, mutually agreeing
+// replicas exists; Hold while disagreement is fresh enough that the last
+// good fused value is still trustworthy; FailSafe once disagreement has
+// persisted past the hold budget and the reading must no longer be used
+// for closed-loop control.
+type Health int
+
+const (
+	HealthOK Health = iota
+	HealthHold
+	HealthFailSafe
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthHold:
+		return "hold"
+	case HealthFailSafe:
+		return "failsafe"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// Defaults for the optional RedundantConfig knobs (zero selects them).
+const (
+	// DefaultOutlierC is the maximum distance (°C) from the replica
+	// median before a reading is voted out as an outlier.
+	DefaultOutlierC = 3.0
+	// DefaultMaxSlewCPerS is the plausibility bound on per-replica
+	// reading movement. Real silicon junctions move a few °C/s at most
+	// (Table I thermal time constants); a reading jumping faster than
+	// this is a transport glitch, not physics. Deliberately generous so
+	// a frozen replica (slew 0) passes plausibility and is caught by
+	// outlier rejection instead.
+	DefaultMaxSlewCPerS = 20.0
+	// DefaultHoldTicks is how many consecutive quorum failures are
+	// bridged by hold-last-good before the voter latches FailSafe.
+	DefaultHoldTicks = 30
+)
+
+// RedundantConfig parameterizes the fusion stage. Zero values select the
+// documented defaults except the plausibility range, which callers take
+// from the ADC configuration of the chains being fused.
+type RedundantConfig struct {
+	// RangeMin/RangeMax bound plausible readings (°C); anything outside
+	// is rejected before voting. Both zero selects 0..255 (the Table I
+	// 8-bit ADC span).
+	RangeMin float64
+	RangeMax float64
+	// MaxSlewCPerS rejects a replica whose reading moved faster than
+	// physically possible since its previous sample. Zero selects
+	// DefaultMaxSlewCPerS.
+	MaxSlewCPerS float64
+	// OutlierC is the max distance from the replica median before a
+	// plausible reading is voted out. Zero selects DefaultOutlierC.
+	OutlierC float64
+	// Quorum is the minimum number of surviving replicas for a fused
+	// reading to count as good. Zero selects a strict majority (N/2+1).
+	Quorum int
+	// HoldTicks is the hold-last-good budget. Zero selects
+	// DefaultHoldTicks.
+	HoldTicks int
+}
+
+// Redundant fuses N independently built measurement chains observing the
+// same true temperature into one trustworthy reading: per-sample
+// plausibility checks (range + slew vs. physical limits), median voting
+// with outlier rejection among the survivors, hold-last-good across
+// transient disagreement, and a latched FailSafe health once disagreement
+// outlives the hold budget. It implements Stage so it drops into a
+// Pipeline wherever a single chain did, and PowerAware so power-density
+// stages (PlacementOffset) inside the replica chains keep seeing CPU
+// power.
+//
+// All voting scratch is preallocated: Sample is allocation-free in steady
+// state, preserving the zero-alloc tick contract with redundancy armed.
+type Redundant struct {
+	chains  []Stage
+	powered []PowerAware
+
+	rangeMin  float64
+	rangeMax  float64
+	maxSlew   float64
+	outlierC  float64
+	quorum    int
+	holdTicks int
+
+	// scratch (capacity len(chains), reused every tick)
+	readings  []float64
+	plausible []float64
+	survivors []float64
+	fallback  []float64
+
+	// per-replica slew-plausibility state
+	prev   []float64
+	primed []bool
+	lastT  units.Seconds
+	hasT   bool
+
+	lastGood float64
+	goodSet  bool
+	disagree int
+	health   Health
+
+	ticks         int
+	rejectedTicks int // replica-samples rejected (implausible or outlier)
+	quorumFails   int // ticks where no quorum survived
+	failSafeTicks int // ticks spent in FailSafe
+}
+
+// NewRedundant builds the fusion stage over the given replica chains
+// (typically *Pipeline values over independently seeded fault chains).
+// At least 3 chains are required — with fewer, median voting cannot
+// outvote a single wedged replica.
+func NewRedundant(cfg RedundantConfig, chains ...Stage) (*Redundant, error) {
+	n := len(chains)
+	if n < 3 {
+		return nil, fmt.Errorf("sensor: redundant array needs >= 3 chains, got %d", n)
+	}
+	for i, c := range chains {
+		if c == nil {
+			return nil, fmt.Errorf("sensor: redundant chain %d is nil", i)
+		}
+	}
+	min, max := cfg.RangeMin, cfg.RangeMax
+	if min == 0 && max == 0 {
+		min, max = 0, 255
+	}
+	if !(max > min) {
+		return nil, fmt.Errorf("sensor: redundant plausibility range [%g, %g] is empty", min, max)
+	}
+	slew := cfg.MaxSlewCPerS
+	if slew == 0 {
+		slew = DefaultMaxSlewCPerS
+	}
+	if slew < 0 {
+		return nil, fmt.Errorf("sensor: negative max slew %g", slew)
+	}
+	outlier := cfg.OutlierC
+	if outlier == 0 {
+		outlier = DefaultOutlierC
+	}
+	if outlier < 0 {
+		return nil, fmt.Errorf("sensor: negative outlier bound %g", outlier)
+	}
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = n/2 + 1
+	}
+	if quorum < 1 || quorum > n {
+		return nil, fmt.Errorf("sensor: quorum %d outside [1, %d]", quorum, n)
+	}
+	hold := cfg.HoldTicks
+	if hold == 0 {
+		hold = DefaultHoldTicks
+	}
+	if hold < 0 {
+		return nil, fmt.Errorf("sensor: negative hold budget %d", hold)
+	}
+	r := &Redundant{
+		chains:    chains,
+		rangeMin:  min,
+		rangeMax:  max,
+		maxSlew:   slew,
+		outlierC:  outlier,
+		quorum:    quorum,
+		holdTicks: hold,
+		readings:  make([]float64, n),
+		plausible: make([]float64, 0, n),
+		survivors: make([]float64, 0, n),
+		fallback:  make([]float64, 0, n),
+		prev:      make([]float64, n),
+		primed:    make([]bool, n),
+	}
+	// Collect power-aware replicas once, mirroring NewPipeline: nested
+	// pipelines are included only when they actually contain a
+	// power-density stage, so ObservePower fan-out skips inert chains.
+	for _, c := range chains {
+		switch s := c.(type) {
+		case *Pipeline:
+			if s.NeedsPower() {
+				r.powered = append(r.powered, s)
+			}
+		case *Redundant:
+			if s.NeedsPower() {
+				r.powered = append(r.powered, s)
+			}
+		case PowerAware:
+			r.powered = append(r.powered, s)
+		}
+	}
+	return r, nil
+}
+
+// Sample feeds the true value through every replica chain and fuses the
+// readings. The fused value is the median of the plausible, non-outlier
+// survivors when a quorum exists; otherwise the last good fused value
+// (hold-last-good), falling back to the median of the raw readings if no
+// good value was ever produced.
+func (r *Redundant) Sample(t units.Seconds, v float64) float64 {
+	dt := units.Seconds(0)
+	if r.hasT && t > r.lastT {
+		dt = t - r.lastT
+	}
+	r.lastT = t
+	r.hasT = true
+	r.ticks++
+
+	for i, c := range r.chains {
+		r.readings[i] = c.Sample(t, v)
+	}
+
+	// Plausibility: range, then per-replica slew against the previous
+	// reading. prev is updated from the raw reading every tick even when
+	// rejected, so a replica recovering from a wedged value pays one
+	// implausible tick, not a permanently drifting reference.
+	r.plausible = r.plausible[:0]
+	for i, ri := range r.readings {
+		ok := ri >= r.rangeMin && ri <= r.rangeMax
+		if ok && r.primed[i] && dt > 0 {
+			bound := r.maxSlew * float64(dt)
+			if d := ri - r.prev[i]; d > bound || d < -bound {
+				ok = false
+			}
+		}
+		r.prev[i] = ri
+		r.primed[i] = true
+		if ok {
+			r.plausible = append(r.plausible, ri)
+		} else {
+			r.rejectedTicks++
+		}
+	}
+
+	if fused, ok := r.vote(); ok {
+		r.disagree = 0
+		r.health = HealthOK
+		r.lastGood = fused
+		r.goodSet = true
+		return fused
+	}
+
+	r.quorumFails++
+	r.disagree++
+	if r.disagree > r.holdTicks {
+		r.health = HealthFailSafe
+		r.failSafeTicks++
+	} else {
+		r.health = HealthHold
+	}
+	if r.goodSet {
+		return r.lastGood
+	}
+	// Never agreed since Reset: the raw median is the least-bad reading.
+	r.fallback = append(r.fallback[:0], r.readings...)
+	insertionSort(r.fallback)
+	return medianSorted(r.fallback)
+}
+
+// vote runs median + outlier rejection over the plausible readings and
+// reports whether a quorum survived.
+func (r *Redundant) vote() (float64, bool) {
+	if len(r.plausible) < r.quorum {
+		return 0, false
+	}
+	insertionSort(r.plausible)
+	med := medianSorted(r.plausible)
+	r.survivors = r.survivors[:0]
+	for _, x := range r.plausible {
+		if d := x - med; d <= r.outlierC && d >= -r.outlierC {
+			r.survivors = append(r.survivors, x)
+		} else {
+			r.rejectedTicks++
+		}
+	}
+	if len(r.survivors) < r.quorum {
+		return 0, false
+	}
+	// Filtering a sorted slice preserves order, so the median is direct.
+	return medianSorted(r.survivors), true
+}
+
+// Reset restores construction state on the voter and every replica chain
+// so a warm re-run replays the identical fused sequence.
+func (r *Redundant) Reset() {
+	for _, c := range r.chains {
+		c.Reset()
+	}
+	for i := range r.prev {
+		r.prev[i] = 0
+		r.primed[i] = false
+	}
+	r.lastT, r.hasT = 0, false
+	r.lastGood, r.goodSet = 0, false
+	r.disagree = 0
+	r.health = HealthOK
+	r.ticks, r.rejectedTicks, r.quorumFails, r.failSafeTicks = 0, 0, 0, 0
+}
+
+// NeedsPower reports whether any replica chain contains a power-density
+// stage.
+func (r *Redundant) NeedsPower() bool { return len(r.powered) > 0 }
+
+// ObservePower forwards the current CPU power draw to every power-aware
+// replica chain.
+func (r *Redundant) ObservePower(w float64) {
+	for _, s := range r.powered {
+		s.ObservePower(w)
+	}
+}
+
+// Health returns the voter's current self-assessment.
+func (r *Redundant) Health() Health { return r.health }
+
+// Sensors returns the replica count.
+func (r *Redundant) Sensors() int { return len(r.chains) }
+
+// FailSafeFrac returns the fraction of samples spent in FailSafe.
+func (r *Redundant) FailSafeFrac() float64 {
+	if r.ticks == 0 {
+		return 0
+	}
+	return float64(r.failSafeTicks) / float64(r.ticks)
+}
+
+// QuorumFailFrac returns the fraction of samples where no quorum of
+// agreeing replicas survived.
+func (r *Redundant) QuorumFailFrac() float64 {
+	if r.ticks == 0 {
+		return 0
+	}
+	return float64(r.quorumFails) / float64(r.ticks)
+}
+
+// Rejected returns the cumulative count of replica-samples voted out
+// (implausible or outlier) since Reset.
+func (r *Redundant) Rejected() int { return r.rejectedTicks }
+
+// insertionSort sorts a short slice in place without allocating — replica
+// counts are single digits, where insertion sort beats sort.Float64s and
+// keeps the fused sample heap-free.
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// medianSorted returns the median of an already-sorted, non-empty slice
+// (mean of the two middles for even lengths).
+func medianSorted(a []float64) float64 {
+	n := len(a)
+	if n%2 == 1 {
+		return a[n/2]
+	}
+	return 0.5 * (a[n/2-1] + a[n/2])
+}

@@ -223,14 +223,19 @@ func NewPipeline(stages ...Stage) *Pipeline {
 		// A nested pipeline satisfies PowerAware unconditionally; collect
 		// it only when it actually holds power-aware stages, so that
 		// wrapping an ideal chain keeps NeedsPower false.
-		if inner, ok := s.(*Pipeline); ok {
+		switch inner := s.(type) {
+		case *Pipeline:
 			if inner.NeedsPower() {
 				p.powered = append(p.powered, inner)
 			}
-			continue
-		}
-		if pa, ok := s.(PowerAware); ok {
-			p.powered = append(p.powered, pa)
+		case *Redundant:
+			// Same rule as nested pipelines: a redundant array forwards
+			// power only when some replica chain actually consumes it.
+			if inner.NeedsPower() {
+				p.powered = append(p.powered, inner)
+			}
+		case PowerAware:
+			p.powered = append(p.powered, inner)
 		}
 	}
 	return p

@@ -90,24 +90,30 @@ ls_out=$(go run ./cmd/experiments store ls -store "$coord_store")
 echo "$ls_out" | grep -q "4 cell(s)"
 echo "$ls_out" | grep -q "fleetcoord"
 
-# Faultsweep store smoke: a small graceful-degradation campaign twice
-# into its own store. The first pass simulates every baseline and cell;
-# the second must be served entirely from the store — all hits, zero
-# misses, and (the stronger claim, asserted via the engine tick probe)
-# zero re-simulated ticks — with identical verdict tables.
+# Faultsweep store smoke: a small graceful-degradation campaign crossing
+# both sensing stacks (single-chain "full" and the redundant "voting"
+# array) twice into its own store. The first pass simulates every
+# baseline and cell — 2 targets x 2 stacks baselines, plus
+# (placement,dropout on both targets + segment on the fleetcoord target,
+# which declares a bus segment) x 2 stacks = 10 cells; the second must be
+# served entirely from the store — all hits, zero misses, and (the
+# stronger claim, asserted via the engine tick probe) zero re-simulated
+# ticks — with identical verdict tables. The dominance verdict is the
+# robustness gate: voting may never degrade worse than the single chain.
 fault_store=$(mktemp -d)
 trap 'rm -rf "$store_dir" "$coord_store" "$fault_store"' EXIT
-go run ./cmd/experiments faultsweep -targets single,fleetcoord -types placement,dropout -severities 0.5 -duration 300 -store "$fault_store" > "$fault_store/first.txt"
-grep -q "0 hits, 6 misses" "$fault_store/first.txt"
-go run ./cmd/experiments faultsweep -targets single,fleetcoord -types placement,dropout -severities 0.5 -duration 300 -store "$fault_store" > "$fault_store/second.txt"
-grep -q "6 hits, 0 misses" "$fault_store/second.txt"
+go run ./cmd/experiments faultsweep -targets single,fleetcoord -types placement,dropout,segment -severities 0.5 -stacks full,voting -duration 300 -store "$fault_store" > "$fault_store/first.txt"
+grep -q "0 hits, 14 misses" "$fault_store/first.txt"
+grep -q "verdict: voting dominates full: true" "$fault_store/first.txt"
+go run ./cmd/experiments faultsweep -targets single,fleetcoord -types placement,dropout,segment -severities 0.5 -stacks full,voting -duration 300 -store "$fault_store" > "$fault_store/second.txt"
+grep -q "14 hits, 0 misses" "$fault_store/second.txt"
 grep -q "simulated 0 ticks" "$fault_store/second.txt"
 sed 's/ *hit$//; s/ *miss$//; s/[0-9]* hits, [0-9]* misses//; s/simulated [0-9]* ticks//' "$fault_store/first.txt" > "$fault_store/first.norm"
 sed 's/ *hit$//; s/ *miss$//; s/[0-9]* hits, [0-9]* misses//; s/simulated [0-9]* ticks//' "$fault_store/second.txt" > "$fault_store/second.norm"
 diff "$fault_store/first.norm" "$fault_store/second.norm"
 
 # Perf-trajectory gate: fresh trajectory numbers against the committed
-# PR 6 baseline via benchjson -compare (the gate ratchets: each PR
+# PR 7 baseline via benchjson -compare (the gate ratchets: each PR
 # appends BENCH_PR<n>.json and the next gates against it). The
 # threshold is deliberately wide (60%): this 1-core shared container
 # drifts 15-35% between sessions on bit-identical hot paths (measured
@@ -115,5 +121,5 @@ diff "$fault_store/first.norm" "$fault_store/second.norm"
 # catches real blowups, and allocs/op regressions — which are
 # deterministic — are judged by the same factor against integer counts,
 # so any alloc creep on a 0-alloc path fails regardless.
-go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
-go run ./cmd/benchjson -compare BENCH_PR6.json -threshold 0.60 < "$store_dir/bench.out"
+go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkVotingChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
+go run ./cmd/benchjson -compare BENCH_PR7.json -threshold 0.60 < "$store_dir/bench.out"

@@ -100,6 +100,17 @@ func TestZeroAllocContracts(t *testing.T) {
 			},
 		},
 		{
+			// The same tick with the three-replica redundant voting
+			// array (per-replica fault chains fused by median voting)
+			// in the sensor path.
+			name: "voting-chain-tick",
+			runs: 500,
+			setup: func(t *testing.T) func() {
+				h := newTickHarnessSensor(t, votingSensorChain)
+				return func() { h.step() }
+			},
+		},
+		{
 			// A warm lockstep re-step at one worker must not touch the
 			// heap — the property the fleet fixed point's per-pass cost
 			// rests on.
