@@ -1,0 +1,53 @@
+// Service-layer benchmark: the scenariod HTTP round-trip on a warm key.
+// BenchmarkScenarioStoreHit prices an in-process store read; this adds
+// the daemon on top — JSON encode, loopback HTTP, queue dedup, storage
+// module, outcome decode — which is what a sweep script pays per cell
+// when it shares the cache through scenariod instead of opening the
+// store directly.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/service"
+)
+
+// BenchmarkServiceStoreHit submits the same spec to a running daemon
+// repeatedly; after the first (simulated) submit every round-trip must
+// be answered from the store without a simulation.
+func BenchmarkServiceStoreHit(b *testing.B) {
+	d, err := service.New(service.Config{StoreDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := d.Stop(); err != nil {
+			b.Errorf("stopping daemon: %v", err)
+		}
+	}()
+
+	c := service.NewClient(d.BaseURL())
+	spec := scenarioStoreSpec()
+	warm, err := c.Submit(spec, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm.State != service.StateDone {
+		b.Fatalf("warm-up state = %s", warm.State)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := c.Submit(spec, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Cached {
+			b.Fatal("warm key missed the store")
+		}
+	}
+}

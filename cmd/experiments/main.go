@@ -140,6 +140,9 @@ func main() {
 		fsDuration   float64
 		fsSeed       int64
 		fsWorkers    int
+
+		gcMaxBytes int64
+		gcMaxCells int
 	)
 
 	csvFlag := func(fs *flag.FlagSet) {
@@ -260,8 +263,10 @@ func main() {
 		return faultSweepCampaign(fsTargets, fsTypes, fsSeverities, fsStacks, fsDuration, fsSeed, storeDir, fsWorkers)
 	})
 	var storeCmd *command
-	storeCmd = newCommandArgs("store", "inspect a result store (action: ls)", func(fs *flag.FlagSet) {
+	storeCmd = newCommandArgs("store", "inspect or trim a result store (actions: ls, gc)", func(fs *flag.FlagSet) {
 		fs.StringVar(&storeDir, "store", "", "content-addressed result store directory (required)")
+		fs.Int64Var(&gcMaxBytes, "maxbytes", 0, "gc: cap on summed cell bytes (0 = no byte cap)")
+		fs.IntVar(&gcMaxCells, "maxcells", 0, "gc: cap on cell count (0 = no cell cap)")
 	}, func(args []string) error {
 		// The action verb may sit before or after the flags ("store ls
 		// -store DIR" and "store -store DIR ls" both work): flags before
@@ -282,10 +287,12 @@ func main() {
 		switch action {
 		case "ls":
 			return storeLs(storeDir)
+		case "gc":
+			return storeGC(storeDir, gcMaxBytes, gcMaxCells)
 		case "":
-			return fmt.Errorf("store: missing action (want: ls)")
+			return fmt.Errorf("store: missing action (want: ls, gc)")
 		default:
-			return fmt.Errorf("store: unknown action %q (want: ls)", action)
+			return fmt.Errorf("store: unknown action %q (want: ls, gc)", action)
 		}
 	})
 
@@ -689,6 +696,29 @@ func storeLs(dir string) error {
 		total += info.Size
 	}
 	fmt.Printf("\ntotal: %d bytes\n", total)
+	return nil
+}
+
+// storeGC trims the store to the caps (the `store gc` action): oldest
+// modification time first, key as the tiebreaker — deterministic, so
+// re-running against an unchanged store is a no-op.
+func storeGC(dir string, maxBytes int64, maxCells int) error {
+	if dir == "" {
+		return fmt.Errorf("store gc: -store directory required")
+	}
+	st, err := scenario.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	res, err := st.GC(scenario.GCConfig{MaxBytes: maxBytes, MaxCells: maxCells})
+	if err != nil {
+		return err
+	}
+	for _, key := range res.Evicted {
+		fmt.Printf("evicted %s\n", key)
+	}
+	fmt.Printf("store %s: evicted %d cell(s) / %d bytes; %d cell(s) / %d bytes remain\n",
+		st.Dir(), len(res.Evicted), res.BytesFreed, res.Remaining, res.RemainingBytes)
 	return nil
 }
 

@@ -1,0 +1,310 @@
+// Command scenariod serves the scenario layer over HTTP: a daemon
+// holding one content-addressed result store behind a deduplicating job
+// queue, so many clients (sweep scripts, CI, notebooks) share one cache
+// instead of each recomputing the same cells. The client verbs talk to
+// a running daemon; loadtest drives one through the two-phase
+// cold/hot workload and prints the latency/hit-rate report.
+//
+//	scenariod serve    -addr 127.0.0.1:0 -store DIR [-shards N] [-maxcells N] [-maxbytes N]
+//	scenariod submit   -addr HOST:PORT [-wait] -spec FILE|-
+//	scenariod get      -addr HOST:PORT KEY
+//	scenariod ls       -addr HOST:PORT
+//	scenariod stats    -addr HOST:PORT
+//	scenariod loadtest [-addr HOST:PORT] [-clients K] [-cold N] [-hot N] [-requests N] [-json FILE]
+//
+// serve prints "scenariod listening on ADDR" once the socket is bound
+// (scripts parse it to learn the ephemeral port) and shuts down cleanly
+// on SIGINT/SIGTERM. loadtest without -addr self-hosts an ephemeral
+// in-process daemon.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scenariod: ")
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	verb, args := os.Args[1], os.Args[2:]
+	var err error
+	switch verb {
+	case "serve":
+		err = serveCmd(args)
+	case "submit":
+		err = submitCmd(args)
+	case "get":
+		err = getCmd(args)
+	case "ls":
+		err = lsCmd(args)
+	case "stats":
+		err = statsCmd(args)
+	case "loadtest":
+		err = loadtestCmd(args)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		log.Printf("unknown verb %q", verb)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("%s: %v", verb, err)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: scenariod <verb> [flags]
+
+verbs:
+  serve     run the daemon (HTTP API + job queue + store)
+  submit    POST a spec file (or - for stdin) to a daemon
+  get       poll one scenario key
+  ls        list stored cells and in-flight jobs
+  stats     print queue/storage/engine accounting
+  loadtest  drive a daemon (or a self-hosted one) through the
+            cold/hot workload and report latency + hit rate
+
+run "scenariod <verb> -h" for the verb's flags.
+`)
+}
+
+// baseURL normalizes an -addr value into the client base URL.
+func baseURL(addr string) (string, error) {
+	if addr == "" {
+		return "", fmt.Errorf("missing -addr (host:port of a running scenariod)")
+	}
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/"), nil
+	}
+	return "http://" + addr, nil
+}
+
+// serveCmd runs the daemon until SIGINT/SIGTERM.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	storeDir := fs.String("store", "", "content-addressed store directory (empty = in-memory cache)")
+	shards := fs.Int("shards", 0, "queue worker count (0 = min(cores, 4))")
+	workers := fs.Int("workers", 0, "per-simulation engine worker cap (0 = all cores)")
+	maxCells := fs.Int("maxcells", 0, "cache cap: max stored cells (0 = unbounded)")
+	maxBytes := fs.Int64("maxbytes", 0, "cache cap: max summed cell bytes (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := service.New(service.Config{
+		Addr: *addr, StoreDir: *storeDir,
+		Shards: *shards, EngineWorkers: *workers,
+		MaxCells: *maxCells, MaxBytes: *maxBytes,
+	})
+	if err != nil {
+		return err
+	}
+	if err := d.Start(); err != nil {
+		return err
+	}
+	// Scripts parse this line for the resolved ephemeral port; keep it on
+	// stdout and keep the format stable.
+	fmt.Printf("scenariod listening on %s (%s)\n", strings.TrimPrefix(d.BaseURL(), "http://"), d)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("scenariod: %v: shutting down\n", sig)
+	if err := d.Stop(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("scenariod: clean shutdown")
+	return nil
+}
+
+// readSpec loads a spec from a file or stdin ("-").
+func readSpec(path string) (scenario.Spec, error) {
+	var spec scenario.Spec
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return spec, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("decoding spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// printJSON pretty-prints one API response.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address (host:port)")
+	specPath := fs.String("spec", "-", "spec JSON file (- for stdin)")
+	wait := fs.Bool("wait", false, "block until the job completes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	spec, err := readSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	st, err := service.NewClient(base).Submit(spec, *wait)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func getCmd(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address (host:port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one KEY argument")
+	}
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	st, err := service.NewClient(base).Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func lsCmd(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address (host:port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	lr, err := service.NewClient(base).List()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cell(s), %d in flight\n", len(lr.Cells), len(lr.Inflight))
+	for _, c := range lr.Cells {
+		fmt.Printf("  %s %-10s %-24s %d unit(s) %d bytes\n", c.Key, c.Kind, c.Name, c.Units, c.Size)
+	}
+	for _, j := range lr.Inflight {
+		status := j.State
+		if j.Error != "" {
+			status += ": " + j.Error
+		}
+		fmt.Printf("  %s [%s]\n", j.Key, status)
+	}
+	return nil
+}
+
+func statsCmd(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address (host:port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	sr, err := service.NewClient(base).Stats()
+	if err != nil {
+		return err
+	}
+	return printJSON(sr)
+}
+
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon address (empty = self-host an ephemeral daemon)")
+	clients := fs.Int("clients", 8, "concurrent clients")
+	cold := fs.Int("cold", 24, "unique spec population")
+	hot := fs.Int("hot", 12, "hot working-set size")
+	requests := fs.Int("requests", 50, "hot-phase requests per client")
+	hotFrac := fs.Float64("hotfrac", 0.95, "hot-phase probability of drawing a warm key")
+	duration := fs.Float64("duration", 900, "per-spec simulated horizon (s)")
+	seed := fs.Int64("seed", 1, "population/mix seed")
+	jsonOut := fs.String("json", "", "write the full report JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := ""
+	if *addr != "" {
+		b, err := baseURL(*addr)
+		if err != nil {
+			return err
+		}
+		base = b
+	} else {
+		d, err := service.New(service.Config{})
+		if err != nil {
+			return err
+		}
+		if err := d.Start(); err != nil {
+			return err
+		}
+		defer func() {
+			if err := d.Stop(); err != nil {
+				log.Printf("loadtest: stopping self-hosted daemon: %v", err)
+			}
+		}()
+		base = d.BaseURL()
+		fmt.Printf("loadtest: self-hosted daemon on %s (%s)\n", base, d)
+	}
+
+	res, err := service.RunLoadTest(service.NewClient(base), service.LoadTestConfig{
+		Clients: *clients, ColdSpecs: *cold, HotSpecs: *hot,
+		Requests: *requests, HotFraction: *hotFrac,
+		Duration: units.Seconds(*duration), Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadtest: report written to %s\n", *jsonOut)
+	}
+	return nil
+}

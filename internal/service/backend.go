@@ -1,0 +1,218 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Backend abstracts the result store the storage module serves. The
+// on-disk content-addressed scenario.Store is the canonical backend; an
+// in-memory backend ships for tests and ephemeral daemons; a remote or
+// shared backend for fleet-scale sweeps implements the same four methods
+// and plugs in without touching the queue or the API surface.
+//
+// Backends are accessed from the storage module's single goroutine, so
+// implementations need no internal locking for daemon use — but the
+// in-memory backend locks anyway, because tests hit backends directly.
+type Backend interface {
+	// Name identifies the backend in listings and stats.
+	Name() string
+	// Get returns the outcome stored under a content key (ok=false on a
+	// miss).
+	Get(key string) (*scenario.Outcome, bool, error)
+	// Put persists a spec's outcome under its content key.
+	Put(spec scenario.Spec, out *scenario.Outcome) error
+	// List inspects every stored cell, sorted by key.
+	List() ([]scenario.CellInfo, error)
+	// Len reports the number of stored cells.
+	Len() (int, error)
+}
+
+// GCBackend is the optional eviction hook: backends that can trim
+// themselves to a footprint cap implement it, and the storage module
+// runs a pass after every Put when caps are configured.
+type GCBackend interface {
+	GC(cfg scenario.GCConfig) (scenario.GCResult, error)
+}
+
+// StoreBackend serves an on-disk content-addressed scenario.Store.
+type StoreBackend struct {
+	st *scenario.Store
+}
+
+// OpenStoreBackend opens (creating if needed) a store-backed backend
+// rooted at dir.
+func OpenStoreBackend(dir string) (*StoreBackend, error) {
+	st, err := scenario.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &StoreBackend{st: st}, nil
+}
+
+// NewStoreBackend wraps an already-open store.
+func NewStoreBackend(st *scenario.Store) *StoreBackend { return &StoreBackend{st: st} }
+
+// Name identifies the backend as the store directory.
+func (b *StoreBackend) Name() string { return "store:" + b.st.Dir() }
+
+// Get reads a cell by key.
+func (b *StoreBackend) Get(key string) (*scenario.Outcome, bool, error) { return b.st.GetKey(key) }
+
+// Put persists a cell (atomic temp-file + rename, see scenario.Store).
+func (b *StoreBackend) Put(spec scenario.Spec, out *scenario.Outcome) error {
+	return b.st.Put(spec, out)
+}
+
+// List inspects the store.
+func (b *StoreBackend) List() ([]scenario.CellInfo, error) { return b.st.List() }
+
+// Len counts the cells.
+func (b *StoreBackend) Len() (int, error) { return b.st.Len() }
+
+// GC trims the store to the caps (oldest mtime first, key tiebreak).
+func (b *StoreBackend) GC(cfg scenario.GCConfig) (scenario.GCResult, error) { return b.st.GC(cfg) }
+
+// memCell is one in-memory cell: the encoded entry (so List can report a
+// size comparable to the on-disk backend) plus the decoded outcome.
+type memCell struct {
+	spec scenario.Spec
+	out  *scenario.Outcome
+	size int64
+	seq  int64 // insertion order, the in-memory analog of mtime
+}
+
+// MemBackend is the in-memory backend: same contract as StoreBackend,
+// nothing on disk. Eviction order replaces the store's mtime with the
+// insertion sequence (oldest insert first, key tiebreak on re-puts that
+// keep the original sequence), which is deterministic per process.
+type MemBackend struct {
+	mu    sync.Mutex
+	cells map[string]*memCell
+	seq   int64
+}
+
+// NewMemBackend builds an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{cells: make(map[string]*memCell)}
+}
+
+// Name identifies the backend.
+func (b *MemBackend) Name() string { return "mem" }
+
+// Get returns the outcome stored under key.
+func (b *MemBackend) Get(key string) (*scenario.Outcome, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.cells[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return c.out, true, nil
+}
+
+// Put stores the outcome under the spec's content key. A re-put of an
+// existing key refreshes the payload but keeps the original insertion
+// sequence, mirroring how the disk backend's key identity is stable.
+func (b *MemBackend) Put(spec scenario.Spec, out *scenario.Outcome) error {
+	key, err := scenario.Key(spec)
+	if err != nil {
+		return err
+	}
+	enc, err := json.Marshal(struct {
+		Spec    scenario.Spec     `json:"spec"`
+		Outcome *scenario.Outcome `json:"outcome"`
+	}{spec, out})
+	if err != nil {
+		return fmt.Errorf("service: encoding mem cell %s: %w", key, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seq := b.seq
+	if old, ok := b.cells[key]; ok {
+		seq = old.seq
+	} else {
+		b.seq++
+	}
+	b.cells[key] = &memCell{spec: spec, out: out, size: int64(len(enc)), seq: seq}
+	return nil
+}
+
+// List inspects the cells, sorted by key.
+func (b *MemBackend) List() ([]scenario.CellInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	infos := make([]scenario.CellInfo, 0, len(b.cells))
+	for key, c := range b.cells {
+		infos = append(infos, scenario.CellInfo{
+			Key:   key,
+			Kind:  c.spec.Kind,
+			Name:  c.spec.Name,
+			Units: len(c.out.Units),
+			Size:  c.size,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Key < infos[j].Key })
+	return infos, nil
+}
+
+// Len counts the cells.
+func (b *MemBackend) Len() (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cells), nil
+}
+
+// GC trims the backend to the caps: oldest insertion first, key as the
+// tiebreaker — the same deterministic contract as Store.GC with the
+// insertion sequence standing in for the file mtime.
+func (b *MemBackend) GC(cfg scenario.GCConfig) (scenario.GCResult, error) {
+	var res scenario.GCResult
+	if !cfg.Enabled() {
+		return res, fmt.Errorf("service: GC needs at least one cap (max_bytes or max_cells)")
+	}
+	if cfg.MaxBytes < 0 || cfg.MaxCells < 0 {
+		return res, fmt.Errorf("service: negative GC cap")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	type cand struct {
+		key  string
+		size int64
+		seq  int64
+	}
+	cands := make([]cand, 0, len(b.cells))
+	var total int64
+	for key, c := range b.cells {
+		cands = append(cands, cand{key: key, size: c.size, seq: c.seq})
+		total += c.size
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq < cands[j].seq
+		}
+		return cands[i].key < cands[j].key
+	})
+	remaining := len(cands)
+	over := func() bool {
+		return (cfg.MaxCells > 0 && remaining > cfg.MaxCells) ||
+			(cfg.MaxBytes > 0 && total > cfg.MaxBytes)
+	}
+	for _, c := range cands {
+		if !over() {
+			break
+		}
+		delete(b.cells, c.key)
+		res.Evicted = append(res.Evicted, c.key)
+		res.BytesFreed += c.size
+		total -= c.size
+		remaining--
+	}
+	res.Remaining = remaining
+	res.RemainingBytes = total
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Client talks to a scenariod instance. It is safe for concurrent use
+// (the load-test driver shares one client across its workers so the
+// underlying http.Transport pools connections).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a daemon base URL ("http://host:port").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+// decode reads one JSON response, mapping API error envelopes onto Go
+// errors.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr apiError
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return &StatusError{Code: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &StatusError{Code: resp.StatusCode, Message: string(body)}
+	}
+	return json.Unmarshal(body, v)
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("scenariod: HTTP %d: %s", e.Code, e.Message)
+}
+
+// IsNotFound reports whether err is a 404 (unknown scenario key).
+func IsNotFound(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusNotFound
+}
+
+// Submit posts a spec; wait=true blocks server-side until the job
+// completes (one round trip for warm keys either way).
+func (c *Client) Submit(spec scenario.Spec, wait bool) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	url := c.base + "/v1/scenarios"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := c.hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := decode(resp, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Get polls a key.
+func (c *Client) Get(key string) (JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/v1/scenarios/" + key)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := decode(resp, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Poll polls a key until it reaches StateDone or StateFailed, or the
+// timeout elapses.
+func (c *Client) Poll(key string, interval, timeout time.Duration) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Get(key)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("scenariod: key %s still %s after %v", key, st.State, timeout)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// List fetches the stored cells and in-flight jobs.
+func (c *Client) List() (ListResponse, error) {
+	resp, err := c.hc.Get(c.base + "/v1/scenarios")
+	if err != nil {
+		return ListResponse{}, err
+	}
+	var lr ListResponse
+	if err := decode(resp, &lr); err != nil {
+		return ListResponse{}, err
+	}
+	return lr, nil
+}
+
+// Stats fetches the daemon accounting.
+func (c *Client) Stats() (StatsResponse, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	var sr StatsResponse
+	if err := decode(resp, &sr); err != nil {
+		return StatsResponse{}, err
+	}
+	return sr, nil
+}

@@ -1,0 +1,300 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// Load test. The driver exercises a running daemon the way a sweep
+// client fleet would: a cold phase populates the cache with a set of
+// unique specs (and asserts the singleflight invariant — exactly one
+// simulation per unique spec, no matter how many clients raced), then a
+// hot phase hammers a working set of warm keys mixed with a trickle of
+// fresh ones and measures what the paper's experiment loop actually
+// feels: warm-key submit latency (p50/p99/max) and the cache hit rate.
+
+// LoadTestConfig shapes one load-test run.
+type LoadTestConfig struct {
+	// Clients is the number of concurrent clients (the k in the report).
+	Clients int `json:"clients"`
+	// ColdSpecs is the unique spec population submitted in the cold phase.
+	ColdSpecs int `json:"cold_specs"`
+	// HotSpecs is the size of the hot working set (a prefix of the cold
+	// population) the hot phase draws from.
+	HotSpecs int `json:"hot_specs"`
+	// Requests is the number of hot-phase requests per client.
+	Requests int `json:"requests_per_client"`
+	// HotFraction is the probability a hot-phase request draws from the
+	// hot set; the rest submit fresh, never-seen specs. Defaults to 0.95.
+	HotFraction float64 `json:"hot_fraction"`
+	// Duration is each spec's simulated horizon (seconds). Defaults to
+	// 900 — long enough to be real work, short enough to load-test with.
+	Duration units.Seconds `json:"duration_s"`
+	// Seed drives the spec population and each client's request mix.
+	Seed int64 `json:"seed"`
+}
+
+// withDefaults fills the zero fields.
+func (c LoadTestConfig) withDefaults() LoadTestConfig {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.ColdSpecs == 0 {
+		c.ColdSpecs = 24
+	}
+	if c.HotSpecs == 0 || c.HotSpecs > c.ColdSpecs {
+		c.HotSpecs = c.ColdSpecs / 2
+		if c.HotSpecs == 0 {
+			c.HotSpecs = 1
+		}
+	}
+	if c.Requests == 0 {
+		c.Requests = 50
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.95
+	}
+	if c.Duration == 0 {
+		c.Duration = 900
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LoadTestResult is the committed report of one run.
+type LoadTestResult struct {
+	Config LoadTestConfig `json:"config"`
+
+	// Cold phase: populate the cache, assert the dedup invariant.
+	ColdRequests int     `json:"cold_requests"`
+	ColdWallMS   float64 `json:"cold_wall_ms"`
+	ColdP50MS    float64 `json:"cold_p50_ms"`
+	ColdP99MS    float64 `json:"cold_p99_ms"`
+	UniqueSpecs  int     `json:"unique_specs"`
+	// ColdSimulated is the daemon-side simulation count after the cold
+	// phase; the invariant is ColdSimulated == UniqueSpecs.
+	ColdSimulated int64 `json:"cold_simulated"`
+	ColdCoalesced int64 `json:"cold_coalesced"`
+	ColdHits      int64 `json:"cold_cache_hits"`
+
+	// Hot phase: warm-key latency and hit rate. The percentiles cover
+	// warm-key requests only, so the trickle of fresh specs (reported as
+	// FreshRequests) cannot masquerade as cache latency.
+	HotRequests   int     `json:"hot_requests"`
+	WarmRequests  int     `json:"warm_requests"`
+	FreshRequests int     `json:"fresh_requests"`
+	HotWallMS     float64 `json:"hot_wall_ms"`
+	WarmP50MS     float64 `json:"warm_p50_ms"`
+	WarmP99MS     float64 `json:"warm_p99_ms"`
+	WarmMaxMS     float64 `json:"warm_max_ms"`
+	HitRate       float64 `json:"hit_rate"`
+	Throughput    float64 `json:"hot_requests_per_s"`
+
+	// Daemon-side accounting after both phases.
+	Queue   QueueStats   `json:"queue"`
+	Storage StorageStats `json:"storage"`
+}
+
+// ltRequest is one planned request: the spec plus whether the plan
+// expects it warm (drawn from the cached working set).
+type ltRequest struct {
+	spec scenario.Spec
+	warm bool
+}
+
+// loadTestSpec builds the i-th unique spec of a population. The seed is
+// the only varying field, so every spec costs the same simulation work
+// and the content keys are guaranteed distinct.
+func loadTestSpec(cfg LoadTestConfig, i int) scenario.Spec {
+	return scenario.Spec{
+		Kind:     scenario.KindSingle,
+		Name:     fmt.Sprintf("loadtest-%04d", i),
+		Duration: cfg.Duration,
+		Jobs: []scenario.JobSpec{{
+			Workload: scenario.FactoryRef{
+				Name:   "noisy-square",
+				Seed:   cfg.Seed + int64(i),
+				Params: scenario.Params{"period": 300, "sigma": 0.05},
+			},
+			Policy: scenario.FactoryRef{Name: "full"},
+		}},
+	}
+}
+
+// percentileMS reads the p-quantile (0 < p <= 1) out of a sorted
+// duration slice, in milliseconds.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// fanOut runs each client's planned requests on its own goroutine (all
+// sharing one HTTP client), timing each submit. It returns the sorted
+// warm- and fresh-request latencies and the phase wall time; the first
+// submit or job error aborts the phase.
+func fanOut(c *Client, clients int, plan func(client int) []ltRequest) (warm, fresh []time.Duration, wall time.Duration, err error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	start := time.Now()
+	for client := 0; client < clients; client++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			var w, f []time.Duration
+			for _, req := range plan(client) {
+				t0 := time.Now()
+				st, rerr := c.Submit(req.spec, true)
+				lat := time.Since(t0)
+				if rerr == nil && st.State != StateDone {
+					rerr = fmt.Errorf("key %s finished %s: %s", st.Key, st.State, st.Error)
+				}
+				if rerr != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("client %d: %w", client, rerr))
+					mu.Unlock()
+					return
+				}
+				if req.warm {
+					w = append(w, lat)
+				} else {
+					f = append(f, lat)
+				}
+			}
+			mu.Lock()
+			warm = append(warm, w...)
+			fresh = append(fresh, f...)
+			mu.Unlock()
+		}(client)
+	}
+	wg.Wait()
+	wall = time.Since(start)
+	if len(errs) > 0 {
+		return nil, nil, wall, errs[0]
+	}
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	return warm, fresh, wall, nil
+}
+
+// RunLoadTest drives a daemon through the two-phase workload and
+// returns the report. The daemon should start empty: the dedup
+// assertion counts simulations against the spec population, so a
+// pre-warmed cache would under-count.
+func RunLoadTest(c *Client, cfg LoadTestConfig) (*LoadTestResult, error) {
+	cfg = cfg.withDefaults()
+	res := &LoadTestResult{Config: cfg, UniqueSpecs: cfg.ColdSpecs}
+
+	before, err := c.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: reading initial stats: %w", err)
+	}
+
+	// Cold phase: every client walks the whole population — identical
+	// specs race on purpose so the singleflight has to earn its keep —
+	// each starting at a different offset to spread the contention.
+	coldLats, _, coldWall, err := fanOut(c, cfg.Clients, func(client int) []ltRequest {
+		reqs := make([]ltRequest, cfg.ColdSpecs)
+		for i := range reqs {
+			reqs[i] = ltRequest{spec: loadTestSpec(cfg, (i+client*7)%cfg.ColdSpecs), warm: true}
+		}
+		return reqs
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: cold phase: %w", err)
+	}
+	res.ColdRequests = len(coldLats)
+	res.ColdWallMS = float64(coldWall) / float64(time.Millisecond)
+	res.ColdP50MS = percentileMS(coldLats, 0.50)
+	res.ColdP99MS = percentileMS(coldLats, 0.99)
+
+	afterCold, err := c.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: reading post-cold stats: %w", err)
+	}
+	res.ColdSimulated = afterCold.Queue.Simulated - before.Queue.Simulated
+	res.ColdCoalesced = afterCold.Queue.Coalesced - before.Queue.Coalesced
+	res.ColdHits = afterCold.Queue.CacheHits - before.Queue.CacheHits
+	if res.ColdSimulated != int64(cfg.ColdSpecs) {
+		return res, fmt.Errorf("loadtest: dedup invariant broken: %d unique specs but %d simulations",
+			cfg.ColdSpecs, res.ColdSimulated)
+	}
+
+	// Hot phase: each client draws mostly from the warm working set, with
+	// a trickle of fresh specs. Fresh indices are client-unique (past the
+	// cold population), so a fresh draw is a genuine miss, not a race win.
+	warmLats, freshLats, hotWall, err := fanOut(c, cfg.Clients, func(client int) []ltRequest {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(client)*1_000_003))
+		reqs := make([]ltRequest, cfg.Requests)
+		nextFresh := cfg.ColdSpecs + client*cfg.Requests
+		for i := range reqs {
+			if rng.Float64() < cfg.HotFraction {
+				reqs[i] = ltRequest{spec: loadTestSpec(cfg, rng.Intn(cfg.HotSpecs)), warm: true}
+			} else {
+				reqs[i] = ltRequest{spec: loadTestSpec(cfg, nextFresh)}
+				nextFresh++
+			}
+		}
+		return reqs
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: hot phase: %w", err)
+	}
+	res.WarmRequests = len(warmLats)
+	res.FreshRequests = len(freshLats)
+	res.HotRequests = len(warmLats) + len(freshLats)
+	res.HotWallMS = float64(hotWall) / float64(time.Millisecond)
+	res.WarmP50MS = percentileMS(warmLats, 0.50)
+	res.WarmP99MS = percentileMS(warmLats, 0.99)
+	res.WarmMaxMS = percentileMS(warmLats, 1.00)
+	if hotWall > 0 {
+		res.Throughput = float64(res.HotRequests) / hotWall.Seconds()
+	}
+
+	after, err := c.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: reading final stats: %w", err)
+	}
+	hotSubmitted := after.Queue.Submitted - afterCold.Queue.Submitted
+	hotHits := after.Queue.CacheHits - afterCold.Queue.CacheHits
+	if hotSubmitted > 0 {
+		res.HitRate = float64(hotHits) / float64(hotSubmitted)
+	}
+	res.Queue = after.Queue
+	res.Storage = after.Storage
+	return res, nil
+}
+
+// Summary renders the report as the human-readable block the CLI prints.
+func (r *LoadTestResult) Summary() string {
+	return fmt.Sprintf(
+		"loadtest: clients=%d unique=%d hot_set=%d\n"+
+			"  cold: %d reqs in %.0f ms, p50 %.1f ms, p99 %.1f ms, simulated %d (coalesced %d, hits %d)\n"+
+			"  hot:  %d reqs in %.0f ms (%.0f req/s), warm p50 %.2f ms, p99 %.2f ms, max %.2f ms\n"+
+			"  hit rate %.1f%% (%d warm / %d fresh)",
+		r.Config.Clients, r.UniqueSpecs, r.Config.HotSpecs,
+		r.ColdRequests, r.ColdWallMS, r.ColdP50MS, r.ColdP99MS,
+		r.ColdSimulated, r.ColdCoalesced, r.ColdHits,
+		r.HotRequests, r.HotWallMS, r.Throughput,
+		r.WarmP50MS, r.WarmP99MS, r.WarmMaxMS,
+		100*r.HitRate, r.WarmRequests, r.FreshRequests)
+}

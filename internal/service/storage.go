@@ -1,0 +1,222 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Storage is the storage module: it owns the Backend and serializes
+// every access through a request/reply channel served by one goroutine
+// (the coop/storage pattern). Serialization is what makes the cache-cap
+// contract simple — a Put and the GC pass it triggers are one atomic
+// step from every other module's point of view, and backends need no
+// locking of their own.
+type Storage struct {
+	backend Backend
+	// gc caps the cache tier; the zero value disables eviction.
+	gc scenario.GCConfig
+
+	reqs chan storageReq
+	done chan struct{}
+
+	// stats are owned by the serving goroutine.
+	stats StorageStats
+}
+
+// StorageStats accounts the storage module's traffic.
+type StorageStats struct {
+	Gets    int64 `json:"gets"`
+	Hits    int64 `json:"hits"`
+	Puts    int64 `json:"puts"`
+	Evicted int64 `json:"evicted"`
+	// Cells / Bytes snapshot the backend footprint after the last Put or
+	// GC pass (List-derived; refreshed lazily on Stats when never put).
+	Cells int64 `json:"cells"`
+	Bytes int64 `json:"bytes"`
+}
+
+// storageOp selects the request kind.
+type storageOp int
+
+const (
+	opGet storageOp = iota
+	opPut
+	opList
+	opLen
+	opStats
+)
+
+// storageReq is one request into the serving goroutine; the reply
+// channel is buffered so the server never blocks on a dead client.
+type storageReq struct {
+	op    storageOp
+	key   string
+	spec  scenario.Spec
+	out   *scenario.Outcome
+	reply chan storageResp
+}
+
+type storageResp struct {
+	out   *scenario.Outcome
+	ok    bool
+	infos []scenario.CellInfo
+	n     int
+	stats StorageStats
+	err   error
+}
+
+// NewStorage builds the storage module over a backend. gc caps the
+// cache tier (zero = unbounded); a capped configuration needs a backend
+// implementing GCBackend.
+func NewStorage(backend Backend, gc scenario.GCConfig) *Storage {
+	return &Storage{backend: backend, gc: gc}
+}
+
+// Name implements Module.
+func (s *Storage) Name() string { return "storage" }
+
+// Configure validates the backend/cap combination and allocates the
+// request plumbing.
+func (s *Storage) Configure() error {
+	if s.backend == nil {
+		return fmt.Errorf("storage: nil backend")
+	}
+	if s.gc.Enabled() {
+		if s.gc.MaxBytes < 0 || s.gc.MaxCells < 0 {
+			return fmt.Errorf("storage: negative GC cap")
+		}
+		if _, ok := s.backend.(GCBackend); !ok {
+			return fmt.Errorf("storage: backend %s does not support eviction (cache caps need a GCBackend)", s.backend.Name())
+		}
+	}
+	s.reqs = make(chan storageReq)
+	s.done = make(chan struct{})
+	return nil
+}
+
+// Start launches the serving goroutine.
+func (s *Storage) Start() error {
+	go s.serve()
+	return nil
+}
+
+// Stop closes the intake and waits for the server to drain. Requests
+// after Stop fail with ErrStopped.
+func (s *Storage) Stop() error {
+	close(s.reqs)
+	<-s.done
+	return nil
+}
+
+// ErrStopped reports a request against a stopped module.
+var ErrStopped = fmt.Errorf("service: module stopped")
+
+// serve is the single goroutine owning the backend.
+func (s *Storage) serve() {
+	defer close(s.done)
+	for req := range s.reqs {
+		var resp storageResp
+		switch req.op {
+		case opGet:
+			out, ok, err := s.backend.Get(req.key)
+			s.stats.Gets++
+			if ok {
+				s.stats.Hits++
+			}
+			resp = storageResp{out: out, ok: ok, err: err}
+		case opPut:
+			err := s.backend.Put(req.spec, req.out)
+			if err == nil {
+				s.stats.Puts++
+				err = s.maybeGC()
+			}
+			resp = storageResp{err: err}
+		case opList:
+			infos, err := s.backend.List()
+			resp = storageResp{infos: infos, err: err}
+		case opLen:
+			n, err := s.backend.Len()
+			resp = storageResp{n: n, err: err}
+		case opStats:
+			if s.stats.Puts == 0 && s.stats.Cells == 0 {
+				s.refreshFootprint()
+			}
+			resp = storageResp{stats: s.stats}
+		}
+		req.reply <- resp
+	}
+}
+
+// maybeGC runs an eviction pass when caps are configured, then refreshes
+// the footprint snapshot.
+func (s *Storage) maybeGC() error {
+	if s.gc.Enabled() {
+		res, err := s.backend.(GCBackend).GC(s.gc)
+		if err != nil {
+			return err
+		}
+		s.stats.Evicted += int64(len(res.Evicted))
+		s.stats.Cells = int64(res.Remaining)
+		s.stats.Bytes = res.RemainingBytes
+		return nil
+	}
+	s.refreshFootprint()
+	return nil
+}
+
+// refreshFootprint recomputes the Cells/Bytes snapshot from a listing.
+func (s *Storage) refreshFootprint() {
+	infos, err := s.backend.List()
+	if err != nil {
+		return // footprint is advisory; the next pass retries
+	}
+	s.stats.Cells = int64(len(infos))
+	s.stats.Bytes = 0
+	for _, info := range infos {
+		s.stats.Bytes += info.Size
+	}
+}
+
+// call sends one request, translating a stopped module into ErrStopped
+// instead of a panic on the closed channel.
+func (s *Storage) call(req storageReq) (resp storageResp) {
+	defer func() {
+		if recover() != nil {
+			resp = storageResp{err: ErrStopped}
+		}
+	}()
+	req.reply = make(chan storageResp, 1)
+	s.reqs <- req
+	return <-req.reply
+}
+
+// Get looks a content key up in the backend.
+func (s *Storage) Get(key string) (*scenario.Outcome, bool, error) {
+	resp := s.call(storageReq{op: opGet, key: key})
+	return resp.out, resp.ok, resp.err
+}
+
+// Put persists an outcome and, when caps are configured, trims the
+// cache tier in the same serialized step.
+func (s *Storage) Put(spec scenario.Spec, out *scenario.Outcome) error {
+	return s.call(storageReq{op: opPut, spec: spec, out: out}).err
+}
+
+// List inspects the backend's cells.
+func (s *Storage) List() ([]scenario.CellInfo, error) {
+	resp := s.call(storageReq{op: opList})
+	return resp.infos, resp.err
+}
+
+// Len counts the backend's cells.
+func (s *Storage) Len() (int, error) {
+	resp := s.call(storageReq{op: opLen})
+	return resp.n, resp.err
+}
+
+// Stats snapshots the module's accounting.
+func (s *Storage) Stats() (StorageStats, error) {
+	resp := s.call(storageReq{op: opStats})
+	return resp.stats, resp.err
+}

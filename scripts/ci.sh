@@ -112,8 +112,55 @@ sed 's/ *hit$//; s/ *miss$//; s/[0-9]* hits, [0-9]* misses//; s/simulated [0-9]*
 sed 's/ *hit$//; s/ *miss$//; s/[0-9]* hits, [0-9]* misses//; s/simulated [0-9]* ticks//' "$fault_store/second.txt" > "$fault_store/second.norm"
 diff "$fault_store/first.norm" "$fault_store/second.norm"
 
+# Scenario-service smoke: build scenariod, serve on an ephemeral port,
+# and drive the full client loop — submit a spec (simulated), fetch it by
+# key, then re-submit and assert the daemon answered from the store with
+# zero additional engine ticks (the /v1/stats sim_ticks probe is the
+# ground truth — an HTTP 200 alone wouldn't prove the dedup). SIGTERM
+# must produce a clean shutdown, not a killed process.
+svc_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir" "$coord_store" "$fault_store" "$svc_dir"' EXIT
+go build -o "$svc_dir/scenariod" ./cmd/scenariod
+"$svc_dir/scenariod" serve -addr 127.0.0.1:0 -store "$svc_dir/cells" > "$svc_dir/serve.log" 2>&1 &
+svc_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "scenariod listening on " "$svc_dir/serve.log" && break
+    sleep 0.2
+done
+svc_addr=$(sed -n 's/^scenariod listening on \([^ ]*\).*/\1/p' "$svc_dir/serve.log")
+test -n "$svc_addr"
+
+cat > "$svc_dir/spec.json" <<'EOF'
+{
+  "kind": "single",
+  "name": "ci-smoke",
+  "duration": 300,
+  "jobs": [{
+    "workload": {"name": "noisy-square", "seed": 7, "params": {"period": 300, "sigma": 0.05}},
+    "policy": {"name": "full"}
+  }]
+}
+EOF
+
+"$svc_dir/scenariod" submit -addr "$svc_addr" -wait -spec "$svc_dir/spec.json" > "$svc_dir/first.json"
+grep -q '"state": "done"' "$svc_dir/first.json"
+svc_key=$(sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p' "$svc_dir/first.json" | head -n 1)
+test -n "$svc_key"
+"$svc_dir/scenariod" get -addr "$svc_addr" "$svc_key" > "$svc_dir/get.json"
+grep -q '"state": "done"' "$svc_dir/get.json"
+
+ticks_before=$("$svc_dir/scenariod" stats -addr "$svc_addr" | sed -n 's/.*"sim_ticks": \([0-9]*\).*/\1/p')
+"$svc_dir/scenariod" submit -addr "$svc_addr" -wait -spec "$svc_dir/spec.json" > "$svc_dir/second.json"
+grep -q '"cached": true' "$svc_dir/second.json"
+ticks_after=$("$svc_dir/scenariod" stats -addr "$svc_addr" | sed -n 's/.*"sim_ticks": \([0-9]*\).*/\1/p')
+test "$ticks_before" = "$ticks_after"
+
+kill -TERM "$svc_pid"
+wait "$svc_pid"
+grep -q "clean shutdown" "$svc_dir/serve.log"
+
 # Perf-trajectory gate: fresh trajectory numbers against the committed
-# PR 7 baseline via benchjson -compare (the gate ratchets: each PR
+# PR 8 baseline via benchjson -compare (the gate ratchets: each PR
 # appends BENCH_PR<n>.json and the next gates against it). The
 # threshold is deliberately wide (60%): this 1-core shared container
 # drifts 15-35% between sessions on bit-identical hot paths (measured
@@ -121,5 +168,5 @@ diff "$fault_store/first.norm" "$fault_store/second.norm"
 # catches real blowups, and allocs/op regressions — which are
 # deterministic — are judged by the same factor against integer counts,
 # so any alloc creep on a 0-alloc path fails regardless.
-go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkVotingChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
-go run ./cmd/benchjson -compare BENCH_PR7.json -threshold 0.60 < "$store_dir/bench.out"
+go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkVotingChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun|BenchmarkServiceStoreHit' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
+go run ./cmd/benchjson -compare BENCH_PR8.json -threshold 0.60 < "$store_dir/bench.out"
