@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/scenario"
 	"repro/internal/service"
 )
 
@@ -29,9 +31,10 @@ func BenchmarkServiceStoreHit(b *testing.B) {
 		}
 	}()
 
+	ctx := context.Background()
 	c := service.NewClient(d.BaseURL())
 	spec := scenarioStoreSpec()
-	warm, err := c.Submit(spec, true)
+	warm, err := c.Submit(ctx, spec, true)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -42,12 +45,74 @@ func BenchmarkServiceStoreHit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := c.Submit(spec, true)
+		st, err := c.Submit(ctx, spec, true)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if !st.Cached {
 			b.Fatal("warm key missed the store")
+		}
+	}
+}
+
+// discardBackend is a local tier that never hits and never retains, so
+// every RemoteBackend fetch pays the full remote round trip.
+type discardBackend struct{}
+
+func (discardBackend) Name() string { return "discard" }
+func (discardBackend) Get(context.Context, string) (*scenario.Outcome, bool, error) {
+	return nil, false, nil
+}
+func (discardBackend) Put(context.Context, scenario.Spec, *scenario.Outcome) error { return nil }
+func (discardBackend) List(context.Context) ([]scenario.CellInfo, error)           { return nil, nil }
+func (discardBackend) Len(context.Context) (int, error)                            { return 0, nil }
+
+// BenchmarkRemoteBackendHit prices a tiered read-through that misses
+// the local tier: RemoteBackend delegates to a warm leader daemon over
+// loopback HTTP and decodes the cached outcome. The local tier discards
+// write-backs so the remote hop is paid on every iteration — this is
+// the cold-follower latency a fleet worker sees joining a warm sweep.
+func BenchmarkRemoteBackendHit(b *testing.B) {
+	d, err := service.New(service.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := d.Stop(); err != nil {
+			b.Errorf("stopping leader: %v", err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := service.NewClient(d.BaseURL())
+	spec := scenarioStoreSpec()
+	if _, err := c.Submit(ctx, spec, true); err != nil {
+		b.Fatal(err)
+	}
+
+	r := service.NewRemoteBackend(discardBackend{}, c)
+	defer func() {
+		if err := r.Close(); err != nil {
+			b.Errorf("closing remote backend: %v", err)
+		}
+	}()
+	key, err := scenario.Key(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, ok, err := r.Fetch(ctx, spec, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok || out == nil {
+			b.Fatal("warm remote key missed")
 		}
 	}
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -104,11 +105,23 @@ func serveCmd(args []string) error {
 	workers := fs.Int("workers", 0, "per-simulation engine worker cap (0 = all cores)")
 	maxCells := fs.Int("maxcells", 0, "cache cap: max stored cells (0 = unbounded)")
 	maxBytes := fs.Int64("maxbytes", 0, "cache cap: max summed cell bytes (0 = unbounded)")
+	remote := fs.String("remote", "", "shared-tier scenariod to front (host:port; empty = single tier)")
+	remoteTimeout := fs.Duration("remote-timeout", 0, "per-call remote deadline (0 = 5s default)")
+	remoteSync := fs.Bool("remote-sync", false, "write through to the remote synchronously on puts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	remoteBase := ""
+	if *remote != "" {
+		rb, err := baseURL(*remote)
+		if err != nil {
+			return err
+		}
+		remoteBase = rb
+	}
 	d, err := service.New(service.Config{
 		Addr: *addr, StoreDir: *storeDir,
+		Remote: remoteBase, RemoteTimeout: *remoteTimeout, RemoteSync: *remoteSync,
 		Shards: *shards, EngineWorkers: *workers,
 		MaxCells: *maxCells, MaxBytes: *maxBytes,
 	})
@@ -176,7 +189,7 @@ func submitCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := service.NewClient(base).Submit(spec, *wait)
+	st, err := service.NewClient(base).Submit(context.Background(), spec, *wait)
 	if err != nil {
 		return err
 	}
@@ -196,7 +209,7 @@ func getCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := service.NewClient(base).Get(fs.Arg(0))
+	st, err := service.NewClient(base).Get(context.Background(), fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -213,7 +226,7 @@ func lsCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	lr, err := service.NewClient(base).List()
+	lr, err := service.NewClient(base).List(context.Background())
 	if err != nil {
 		return err
 	}
@@ -241,7 +254,7 @@ func statsCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	sr, err := service.NewClient(base).Stats()
+	sr, err := service.NewClient(base).Stats(context.Background())
 	if err != nil {
 		return err
 	}
@@ -251,6 +264,7 @@ func statsCmd(args []string) error {
 func loadtestCmd(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	addr := fs.String("addr", "", "daemon address (empty = self-host an ephemeral daemon)")
+	twoTier := fs.Bool("two-tier", false, "self-host a leader + tiered follower pair and run the two-tier workload")
 	clients := fs.Int("clients", 8, "concurrent clients")
 	cold := fs.Int("cold", 24, "unique spec population")
 	hot := fs.Int("hot", 12, "hot working-set size")
@@ -261,6 +275,15 @@ func loadtestCmd(args []string) error {
 	jsonOut := fs.String("json", "", "write the full report JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	cfg := service.LoadTestConfig{
+		Clients: *clients, ColdSpecs: *cold, HotSpecs: *hot,
+		Requests: *requests, HotFraction: *hotFrac,
+		Duration: units.Seconds(*duration), Seed: *seed,
+	}
+
+	if *twoTier {
+		return twoTierLoadtest(cfg, *jsonOut)
 	}
 
 	base := ""
@@ -287,24 +310,65 @@ func loadtestCmd(args []string) error {
 		fmt.Printf("loadtest: self-hosted daemon on %s (%s)\n", base, d)
 	}
 
-	res, err := service.RunLoadTest(service.NewClient(base), service.LoadTestConfig{
-		Clients: *clients, ColdSpecs: *cold, HotSpecs: *hot,
-		Requests: *requests, HotFraction: *hotFrac,
-		Duration: units.Seconds(*duration), Seed: *seed,
-	})
+	res, err := service.RunLoadTest(service.NewClient(base), cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res.Summary())
-	if *jsonOut != "" {
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("loadtest: report written to %s\n", *jsonOut)
+	return writeReport(res, *jsonOut)
+}
+
+// twoTierLoadtest self-hosts a leader and a tiered follower and drives
+// the leader-warm / cold-follower / warm-follower workload.
+func twoTierLoadtest(cfg service.LoadTestConfig, jsonOut string) error {
+	leader, err := service.New(service.Config{})
+	if err != nil {
+		return err
 	}
+	if err := leader.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := leader.Stop(); err != nil {
+			log.Printf("loadtest: stopping leader: %v", err)
+		}
+	}()
+	follower, err := service.New(service.Config{Remote: leader.BaseURL()})
+	if err != nil {
+		return err
+	}
+	if err := follower.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := follower.Stop(); err != nil {
+			log.Printf("loadtest: stopping follower: %v", err)
+		}
+	}()
+	fmt.Printf("loadtest: leader %s, follower %s (%s)\n",
+		leader.BaseURL(), follower.BaseURL(), follower)
+
+	res, err := service.RunTwoTierLoadTest(
+		service.NewClient(leader.BaseURL()), service.NewClient(follower.BaseURL()), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	return writeReport(res, jsonOut)
+}
+
+// writeReport pretty-prints a report JSON to a file when requested.
+func writeReport(v any, path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadtest: report written to %s\n", path)
 	return nil
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -11,9 +12,11 @@ import (
 
 // Backend abstracts the result store the storage module serves. The
 // on-disk content-addressed scenario.Store is the canonical backend; an
-// in-memory backend ships for tests and ephemeral daemons; a remote or
-// shared backend for fleet-scale sweeps implements the same four methods
-// and plugs in without touching the queue or the API surface.
+// in-memory backend ships for tests and ephemeral daemons; RemoteBackend
+// fronts either with a shared tier on another scenariod. Every method
+// takes a context: the storage module derives a per-request deadline
+// before each call, so a backend that does I/O (disk, network) can be
+// cancelled instead of wedging the serving goroutine.
 //
 // Backends are accessed from the storage module's single goroutine, so
 // implementations need no internal locking for daemon use — but the
@@ -23,20 +26,30 @@ type Backend interface {
 	Name() string
 	// Get returns the outcome stored under a content key (ok=false on a
 	// miss).
-	Get(key string) (*scenario.Outcome, bool, error)
+	Get(ctx context.Context, key string) (*scenario.Outcome, bool, error)
 	// Put persists a spec's outcome under its content key.
-	Put(spec scenario.Spec, out *scenario.Outcome) error
+	Put(ctx context.Context, spec scenario.Spec, out *scenario.Outcome) error
 	// List inspects every stored cell, sorted by key.
-	List() ([]scenario.CellInfo, error)
+	List(ctx context.Context) ([]scenario.CellInfo, error)
 	// Len reports the number of stored cells.
-	Len() (int, error)
+	Len(ctx context.Context) (int, error)
 }
 
 // GCBackend is the optional eviction hook: backends that can trim
 // themselves to a footprint cap implement it, and the storage module
 // runs a pass after every Put when caps are configured.
 type GCBackend interface {
-	GC(cfg scenario.GCConfig) (scenario.GCResult, error)
+	GC(ctx context.Context, cfg scenario.GCConfig) (scenario.GCResult, error)
+}
+
+// Fetcher is the optional read-through hook: a backend that can resolve
+// a miss by handing the spec to another tier (RemoteBackend delegates
+// the simulation to its remote daemon) implements it. The queue's
+// workers fetch instead of getting, so a miss on a tiered daemon costs
+// the fleet one simulation wherever the key lands; plain backends fall
+// back to Get.
+type Fetcher interface {
+	Fetch(ctx context.Context, spec scenario.Spec, key string) (*scenario.Outcome, bool, error)
 }
 
 // StoreBackend serves an on-disk content-addressed scenario.Store.
@@ -61,21 +74,25 @@ func NewStoreBackend(st *scenario.Store) *StoreBackend { return &StoreBackend{st
 func (b *StoreBackend) Name() string { return "store:" + b.st.Dir() }
 
 // Get reads a cell by key.
-func (b *StoreBackend) Get(key string) (*scenario.Outcome, bool, error) { return b.st.GetKey(key) }
+func (b *StoreBackend) Get(_ context.Context, key string) (*scenario.Outcome, bool, error) {
+	return b.st.GetKey(key)
+}
 
 // Put persists a cell (atomic temp-file + rename, see scenario.Store).
-func (b *StoreBackend) Put(spec scenario.Spec, out *scenario.Outcome) error {
+func (b *StoreBackend) Put(_ context.Context, spec scenario.Spec, out *scenario.Outcome) error {
 	return b.st.Put(spec, out)
 }
 
 // List inspects the store.
-func (b *StoreBackend) List() ([]scenario.CellInfo, error) { return b.st.List() }
+func (b *StoreBackend) List(context.Context) ([]scenario.CellInfo, error) { return b.st.List() }
 
 // Len counts the cells.
-func (b *StoreBackend) Len() (int, error) { return b.st.Len() }
+func (b *StoreBackend) Len(context.Context) (int, error) { return b.st.Len() }
 
 // GC trims the store to the caps (oldest mtime first, key tiebreak).
-func (b *StoreBackend) GC(cfg scenario.GCConfig) (scenario.GCResult, error) { return b.st.GC(cfg) }
+func (b *StoreBackend) GC(_ context.Context, cfg scenario.GCConfig) (scenario.GCResult, error) {
+	return b.st.GC(cfg)
+}
 
 // memCell is one in-memory cell: the encoded entry (so List can report a
 // size comparable to the on-disk backend) plus the decoded outcome.
@@ -105,7 +122,7 @@ func NewMemBackend() *MemBackend {
 func (b *MemBackend) Name() string { return "mem" }
 
 // Get returns the outcome stored under key.
-func (b *MemBackend) Get(key string) (*scenario.Outcome, bool, error) {
+func (b *MemBackend) Get(_ context.Context, key string) (*scenario.Outcome, bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c, ok := b.cells[key]
@@ -118,7 +135,7 @@ func (b *MemBackend) Get(key string) (*scenario.Outcome, bool, error) {
 // Put stores the outcome under the spec's content key. A re-put of an
 // existing key refreshes the payload but keeps the original insertion
 // sequence, mirroring how the disk backend's key identity is stable.
-func (b *MemBackend) Put(spec scenario.Spec, out *scenario.Outcome) error {
+func (b *MemBackend) Put(_ context.Context, spec scenario.Spec, out *scenario.Outcome) error {
 	key, err := scenario.Key(spec)
 	if err != nil {
 		return err
@@ -143,7 +160,7 @@ func (b *MemBackend) Put(spec scenario.Spec, out *scenario.Outcome) error {
 }
 
 // List inspects the cells, sorted by key.
-func (b *MemBackend) List() ([]scenario.CellInfo, error) {
+func (b *MemBackend) List(context.Context) ([]scenario.CellInfo, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	infos := make([]scenario.CellInfo, 0, len(b.cells))
@@ -161,7 +178,7 @@ func (b *MemBackend) List() ([]scenario.CellInfo, error) {
 }
 
 // Len counts the cells.
-func (b *MemBackend) Len() (int, error) {
+func (b *MemBackend) Len(context.Context) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.cells), nil
@@ -170,7 +187,7 @@ func (b *MemBackend) Len() (int, error) {
 // GC trims the backend to the caps: oldest insertion first, key as the
 // tiebreaker — the same deterministic contract as Store.GC with the
 // insertion sequence standing in for the file mtime.
-func (b *MemBackend) GC(cfg scenario.GCConfig) (scenario.GCResult, error) {
+func (b *MemBackend) GC(_ context.Context, cfg scenario.GCConfig) (scenario.GCResult, error) {
 	var res scenario.GCResult
 	if !cfg.Enabled() {
 		return res, fmt.Errorf("service: GC needs at least one cap (max_bytes or max_cells)")

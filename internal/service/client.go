@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,17 +12,175 @@ import (
 	"repro/internal/scenario"
 )
 
+// Stable machine-readable error codes carried in the apiError envelope
+// (and surfaced on StatusError.APICode). Old clients that only read the
+// `error` string keep working; new clients should branch on these
+// instead of matching message text.
+const (
+	// CodeNotFound: the scenario key is neither in flight nor stored.
+	CodeNotFound = "not_found"
+	// CodeInvalidSpec: the submitted spec failed decoding or validation.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeShuttingDown: the daemon is stopping and no longer accepts work.
+	CodeShuttingDown = "shutting_down"
+	// CodeRemoteDegraded: the key was not found locally and the shared
+	// remote tier could not be consulted (circuit breaker open) — the key
+	// may exist fleet-wide.
+	CodeRemoteDegraded = "remote_degraded"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
 // Client talks to a scenariod instance. It is safe for concurrent use
 // (the load-test driver shares one client across its workers so the
 // underlying http.Transport pools connections).
 type Client struct {
 	base string
 	hc   *http.Client
+	// retries is the total attempt budget per call (1 = no retry);
+	// backoff seeds the jittered exponential delay between attempts.
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption shapes a Client.
+type ClientOption func(*Client)
+
+// WithTimeout bounds each HTTP round trip (the whole call when no
+// per-call context deadline is tighter). The default is 5 minutes —
+// byte-identical to the pre-option client.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.hc.Timeout = d
+		}
+	}
+}
+
+// WithRetry retries transport errors and 5xx responses up to n extra
+// attempts with jittered exponential backoff from base. 4xx responses
+// are never retried (they are deterministic), and a cancelled context
+// stops the loop. The default is no retry.
+func WithRetry(n int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.retries = 1 + n
+		}
+		if base > 0 {
+			c.backoff = base
+		}
+	}
 }
 
 // NewClient builds a client for a daemon base URL ("http://host:port").
-func NewClient(base string) *Client {
-	return &Client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+// Without options the behavior is the historical one: 5-minute timeout,
+// no retries.
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:    base,
+		hc:      &http.Client{Timeout: 5 * time.Minute},
+		retries: 1,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Base returns the daemon base URL the client points at.
+func (c *Client) Base() string { return c.base }
+
+// StatusError is a non-2xx API response. Code is the HTTP status;
+// APICode is the stable machine-readable envelope code (empty when the
+// server predates codes or the body was not an envelope).
+type StatusError struct {
+	Code    int
+	APICode string
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.APICode != "" {
+		return fmt.Sprintf("scenariod: HTTP %d (%s): %s", e.Code, e.APICode, e.Message)
+	}
+	return fmt.Sprintf("scenariod: HTTP %d: %s", e.Code, e.Message)
+}
+
+// IsNotFound reports whether err says the scenario key is unknown. It
+// matches the stable envelope code first (including the degraded-read
+// variant, which is still "not found here") and falls back to the raw
+// 404 status for servers that predate codes.
+func IsNotFound(err error) bool {
+	se, ok := err.(*StatusError)
+	if !ok {
+		return false
+	}
+	switch se.APICode {
+	case CodeNotFound, CodeRemoteDegraded:
+		return true
+	case "":
+		return se.Code == http.StatusNotFound
+	}
+	return false
+}
+
+// retryable reports whether an attempt outcome is worth retrying:
+// transport errors and 5xx statuses are; 4xx are deterministic.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if se, ok := err.(*StatusError); ok {
+		return se.Code >= 500
+	}
+	return true
+}
+
+// do runs one JSON round trip with the configured retry budget. body is
+// re-readable by construction (a byte slice), so every attempt sends
+// identical bytes.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, v any) error {
+	delay := c.backoff
+	var last error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			// Jittered exponential backoff off the wall clock's low bits,
+			// so a fleet of retrying clients decorrelates.
+			jitter := time.Duration(time.Now().UnixNano()) % (delay/2 + 1)
+			select {
+			case <-time.After(delay + jitter):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			delay *= 2
+		}
+		last = c.once(ctx, method, url, body, v)
+		if last == nil || !retryable(last) || ctx.Err() != nil {
+			return last
+		}
+	}
+	return last
+}
+
+// once is a single attempt.
+func (c *Client) once(ctx context.Context, method, url string, body []byte, v any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return decode(resp, v)
 }
 
 // decode reads one JSON response, mapping API error envelopes onto Go
@@ -35,32 +194,16 @@ func decode(resp *http.Response, v any) error {
 	if resp.StatusCode >= 400 {
 		var apiErr apiError
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return &StatusError{Code: resp.StatusCode, Message: apiErr.Error}
+			return &StatusError{Code: resp.StatusCode, APICode: apiErr.Code, Message: apiErr.Error}
 		}
 		return &StatusError{Code: resp.StatusCode, Message: string(body)}
 	}
 	return json.Unmarshal(body, v)
 }
 
-// StatusError is a non-2xx API response.
-type StatusError struct {
-	Code    int
-	Message string
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("scenariod: HTTP %d: %s", e.Code, e.Message)
-}
-
-// IsNotFound reports whether err is a 404 (unknown scenario key).
-func IsNotFound(err error) bool {
-	se, ok := err.(*StatusError)
-	return ok && se.Code == http.StatusNotFound
-}
-
 // Submit posts a spec; wait=true blocks server-side until the job
 // completes (one round trip for warm keys either way).
-func (c *Client) Submit(spec scenario.Spec, wait bool) (JobStatus, error) {
+func (c *Client) Submit(ctx context.Context, spec scenario.Spec, wait bool) (JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobStatus{}, err
@@ -69,25 +212,33 @@ func (c *Client) Submit(spec scenario.Spec, wait bool) (JobStatus, error) {
 	if wait {
 		url += "?wait=1"
 	}
-	resp, err := c.hc.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return JobStatus{}, err
-	}
 	var st JobStatus
-	if err := decode(resp, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, url, body, &st); err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
 }
 
-// Get polls a key.
-func (c *Client) Get(key string) (JobStatus, error) {
-	resp, err := c.hc.Get(c.base + "/v1/scenarios/" + key)
+// Push uploads an already-computed outcome under its spec's content key
+// — the write-through verb tiered daemons use to replicate cells into
+// the shared tier without re-simulating.
+func (c *Client) Push(ctx context.Context, spec scenario.Spec, out *scenario.Outcome) error {
+	key, err := scenario.Key(spec)
 	if err != nil {
-		return JobStatus{}, err
+		return err
+	}
+	body, err := json.Marshal(pushRequest{Spec: spec, Outcome: out})
+	if err != nil {
+		return err
 	}
 	var st JobStatus
-	if err := decode(resp, &st); err != nil {
+	return c.do(ctx, http.MethodPut, c.base+"/v1/scenarios/"+key, body, &st)
+}
+
+// Get polls a key.
+func (c *Client) Get(ctx context.Context, key string) (JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, c.base+"/v1/scenarios/"+key, nil, &st); err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
@@ -95,10 +246,10 @@ func (c *Client) Get(key string) (JobStatus, error) {
 
 // Poll polls a key until it reaches StateDone or StateFailed, or the
 // timeout elapses.
-func (c *Client) Poll(key string, interval, timeout time.Duration) (JobStatus, error) {
+func (c *Client) Poll(ctx context.Context, key string, interval, timeout time.Duration) (JobStatus, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		st, err := c.Get(key)
+		st, err := c.Get(ctx, key)
 		if err != nil {
 			return JobStatus{}, err
 		}
@@ -108,31 +259,27 @@ func (c *Client) Poll(key string, interval, timeout time.Duration) (JobStatus, e
 		if time.Now().After(deadline) {
 			return st, fmt.Errorf("scenariod: key %s still %s after %v", key, st.State, timeout)
 		}
-		time.Sleep(interval)
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
 	}
 }
 
 // List fetches the stored cells and in-flight jobs.
-func (c *Client) List() (ListResponse, error) {
-	resp, err := c.hc.Get(c.base + "/v1/scenarios")
-	if err != nil {
-		return ListResponse{}, err
-	}
+func (c *Client) List(ctx context.Context) (ListResponse, error) {
 	var lr ListResponse
-	if err := decode(resp, &lr); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.base+"/v1/scenarios", nil, &lr); err != nil {
 		return ListResponse{}, err
 	}
 	return lr, nil
 }
 
 // Stats fetches the daemon accounting.
-func (c *Client) Stats() (StatsResponse, error) {
-	resp, err := c.hc.Get(c.base + "/v1/stats")
-	if err != nil {
-		return StatsResponse{}, err
-	}
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var sr StatsResponse
-	if err := decode(resp, &sr); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.base+"/v1/stats", nil, &sr); err != nil {
 		return StatsResponse{}, err
 	}
 	return sr, nil

@@ -2,7 +2,9 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -15,8 +17,21 @@ type Config struct {
 	// backend (ephemeral: the cache dies with the process).
 	StoreDir string
 	// Backend overrides the StoreDir/mem selection with a caller-built
-	// backend (the remote/shared-store hook).
+	// backend.
 	Backend Backend
+	// Remote is the base URL of another scenariod to front as a shared
+	// cache tier ("http://host:port"). When set, the local backend is
+	// wrapped in a RemoteBackend: reads fall through to the remote on a
+	// local miss, misses delegate the simulation to the remote's queue,
+	// and puts write through. A down or slow remote degrades this daemon
+	// to local-only — it never fails a submit.
+	Remote string
+	// RemoteTimeout bounds each remote call; zero selects the
+	// RemoteBackend default (5s).
+	RemoteTimeout time.Duration
+	// RemoteSync makes puts block on the write-through instead of
+	// queueing it to the background writer.
+	RemoteSync bool
 	// Shards is the queue worker count; 0 picks min(NumCPU, 4).
 	Shards int
 	// EngineWorkers caps each simulation's internal parallelism
@@ -54,6 +69,11 @@ func New(cfg Config) (*Daemon, error) {
 			backend = NewMemBackend()
 		}
 	}
+	if cfg.Remote != "" {
+		rc := NewClient(cfg.Remote, WithTimeout(cfg.RemoteTimeout))
+		backend = NewRemoteBackend(backend, rc,
+			RemoteTimeout(cfg.RemoteTimeout), RemoteSyncWrites(cfg.RemoteSync))
+	}
 	shards := cfg.Shards
 	if shards == 0 {
 		shards = runtime.NumCPU()
@@ -82,7 +102,17 @@ func (d *Daemon) Start() error { return d.coord.Start() }
 
 // Stop tears the modules down in reverse: the API stops accepting,
 // the queue drains, storage serves the queue's final Puts, then closes.
-func (d *Daemon) Stop() error { return d.coord.Stop() }
+// A closable backend (RemoteBackend's background writer) is closed
+// last, after nothing can reach it.
+func (d *Daemon) Stop() error {
+	err := d.coord.Stop()
+	if c, ok := d.backend.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // BaseURL returns the daemon's API root (valid after Start).
 func (d *Daemon) BaseURL() string { return "http://" + d.http.ListenAddr() }

@@ -18,11 +18,18 @@ import (
 //	                          answers state=done cached=true with the
 //	                          outcome attached — the warm path is one
 //	                          round trip. ?wait=1 blocks until done.
+//	PUT  /v1/scenarios/{key}  push an already-computed {spec, outcome}
+//	                          cell (the tiered write-through verb); the
+//	                          key must match the spec's content hash.
 //	GET  /v1/scenarios        list stored cells + in-flight jobs
 //	                          (mirrors `store ls`).
 //	GET  /v1/scenarios/{key}  poll a key: job progress or the stored
 //	                          outcome; 404 for unknown keys.
 //	GET  /v1/stats            queue/storage/engine accounting.
+//
+// Error responses carry the apiError envelope: a human-readable `error`
+// string (unchanged since PR 9, so old clients keep working) plus a
+// stable machine-readable `code` (the Code* constants).
 //
 // Spec bodies are decoded strictly (unknown fields are a 400): a typoed
 // field would otherwise silently drop out of the content hash and alias
@@ -64,6 +71,7 @@ func (h *HTTPServer) Configure() error {
 	h.mux.HandleFunc("POST /v1/scenarios", h.handleSubmit)
 	h.mux.HandleFunc("GET /v1/scenarios", h.handleList)
 	h.mux.HandleFunc("GET /v1/scenarios/{key}", h.handleGet)
+	h.mux.HandleFunc("PUT /v1/scenarios/{key}", h.handlePush)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
 	h.srv = &http.Server{Handler: h.mux, ReadHeaderTimeout: 10 * time.Second}
 	return nil
@@ -102,9 +110,18 @@ func (h *HTTPServer) ListenAddr() string {
 	return h.ln.Addr().String()
 }
 
-// apiError is the JSON error envelope.
+// apiError is the JSON error envelope. Error is the human-readable
+// message (the PR 9 field, unchanged); Code is the stable
+// machine-readable classification (the Code* constants).
 type apiError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// pushRequest is the PUT /v1/scenarios/{key} body.
+type pushRequest struct {
+	Spec    scenario.Spec     `json:"spec"`
+	Outcome *scenario.Outcome `json:"outcome"`
 }
 
 // ListResponse is the GET /v1/scenarios shape.
@@ -143,26 +160,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError emits one error envelope with its stable code.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiError{Error: msg, Code: code})
+}
+
+// submitErr maps a queue submit error onto status + code.
+func submitErr(w http.ResponseWriter, err error) {
+	if err == ErrStopped {
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+}
+
 // handleSubmit is POST /v1/scenarios.
 func (h *HTTPServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	var spec scenario.Spec
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding spec: %v", err)})
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("decoding spec: %v", err))
 		return
 	}
-	st, err := h.queue.Submit(spec)
+	st, err := h.queue.Submit(r.Context(), spec)
 	if err != nil {
-		code := http.StatusBadRequest
-		if err == ErrStopped {
-			code = http.StatusServiceUnavailable
-		}
-		writeJSON(w, code, apiError{Error: err.Error()})
+		submitErr(w, err)
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" && st.State != StateDone {
-		if ws, ok, err := h.queue.Wait(st.Key); err == nil && ok {
+		if ws, ok, err := h.queue.Wait(r.Context(), st.Key); err == nil && ok {
 			st = ws
 		}
 	}
@@ -173,16 +200,65 @@ func (h *HTTPServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
+// handlePush is PUT /v1/scenarios/{key}: store an already-computed cell
+// (tiered daemons replicating into the shared tier). The key in the URL
+// must match the spec's content hash — content addressing makes pushes
+// self-validating.
+func (h *HTTPServer) handlePush(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	var pr pushRequest
+	if err := dec.Decode(&pr); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("decoding push: %v", err))
+		return
+	}
+	if pr.Outcome == nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "push without outcome")
+		return
+	}
+	if err := pr.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("invalid spec: %v", err))
+		return
+	}
+	key, err := scenario.Key(pr.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return
+	}
+	if got := r.PathValue("key"); got != key {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+			fmt.Sprintf("pushed key %q does not match spec content key %q", got, key))
+		return
+	}
+	if err := h.storage.Put(r.Context(), pr.Spec, pr.Outcome); err != nil {
+		if err == ErrStopped {
+			writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, JobStatus{Key: key, State: StateDone, Cached: true})
+}
+
 // handleGet is GET /v1/scenarios/{key}.
 func (h *HTTPServer) handleGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	st, ok, err := h.queue.Status(key)
+	st, ok, err := h.queue.Status(r.Context(), key)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown scenario key %q", key)})
+		// A miss while the shared tier is unreachable gets the degraded
+		// code: the key may exist fleet-wide, this daemon just cannot see
+		// it right now. IsNotFound matches both.
+		code := CodeNotFound
+		if ss, serr := h.storage.Stats(r.Context()); serr == nil &&
+			ss.Tier != nil && ss.Tier.BreakerState != "closed" {
+			code = CodeRemoteDegraded
+		}
+		writeError(w, http.StatusNotFound, code, fmt.Sprintf("unknown scenario key %q", key))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -190,9 +266,9 @@ func (h *HTTPServer) handleGet(w http.ResponseWriter, r *http.Request) {
 
 // handleList is GET /v1/scenarios.
 func (h *HTTPServer) handleList(w http.ResponseWriter, r *http.Request) {
-	infos, err := h.storage.List()
+	infos, err := h.storage.List(r.Context())
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	resp := ListResponse{Cells: make([]CellInfo, len(infos)), Inflight: h.queue.Inflight()}
@@ -207,9 +283,9 @@ func (h *HTTPServer) handleList(w http.ResponseWriter, r *http.Request) {
 
 // handleStats is GET /v1/stats.
 func (h *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	ss, err := h.storage.Stats()
+	ss, err := h.storage.Stats(r.Context())
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{

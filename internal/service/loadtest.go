@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -163,7 +164,7 @@ func fanOut(c *Client, clients int, plan func(client int) []ltRequest) (warm, fr
 			var w, f []time.Duration
 			for _, req := range plan(client) {
 				t0 := time.Now()
-				st, rerr := c.Submit(req.spec, true)
+				st, rerr := c.Submit(context.Background(), req.spec, true)
 				lat := time.Since(t0)
 				if rerr == nil && st.State != StateDone {
 					rerr = fmt.Errorf("key %s finished %s: %s", st.Key, st.State, st.Error)
@@ -204,7 +205,7 @@ func RunLoadTest(c *Client, cfg LoadTestConfig) (*LoadTestResult, error) {
 	cfg = cfg.withDefaults()
 	res := &LoadTestResult{Config: cfg, UniqueSpecs: cfg.ColdSpecs}
 
-	before, err := c.Stats()
+	before, err := c.Stats(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("loadtest: reading initial stats: %w", err)
 	}
@@ -227,7 +228,7 @@ func RunLoadTest(c *Client, cfg LoadTestConfig) (*LoadTestResult, error) {
 	res.ColdP50MS = percentileMS(coldLats, 0.50)
 	res.ColdP99MS = percentileMS(coldLats, 0.99)
 
-	afterCold, err := c.Stats()
+	afterCold, err := c.Stats(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("loadtest: reading post-cold stats: %w", err)
 	}
@@ -270,7 +271,7 @@ func RunLoadTest(c *Client, cfg LoadTestConfig) (*LoadTestResult, error) {
 		res.Throughput = float64(res.HotRequests) / hotWall.Seconds()
 	}
 
-	after, err := c.Stats()
+	after, err := c.Stats(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("loadtest: reading final stats: %w", err)
 	}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Two-tier load test. A leader daemon owns the shared tier; a follower
+// daemon runs with `-remote` pointed at it. The driver measures what a
+// fleet worker joining a warm sweep actually feels: phase 1 warms the
+// leader (every unique spec simulated exactly once, on the leader);
+// phase 2 hits the cold follower, whose every key must be served
+// read-through from the leader — the follower simulates zero ticks —
+// and reports the remote-hit latency; phase 3 re-hits the follower,
+// now warm, and reports the local-hit latency the write-back bought.
+
+// TwoTierResult is the committed report of one two-tier run.
+type TwoTierResult struct {
+	Config LoadTestConfig `json:"config"`
+
+	// Phase 1: warm the leader.
+	LeaderRequests  int     `json:"leader_requests"`
+	LeaderWallMS    float64 `json:"leader_wall_ms"`
+	LeaderSimulated int64   `json:"leader_simulated"`
+
+	// Phase 2: cold follower — every key leader-owned, served remote.
+	RemoteRequests   int     `json:"remote_requests"`
+	RemoteWallMS     float64 `json:"remote_wall_ms"`
+	RemoteP50MS      float64 `json:"remote_hit_p50_ms"`
+	RemoteP99MS      float64 `json:"remote_hit_p99_ms"`
+	RemoteMaxMS      float64 `json:"remote_hit_max_ms"`
+	RemoteHits       int64   `json:"remote_hits"`
+	FollowerSimTicks int64   `json:"follower_sim_ticks"`
+	FollowerSims     int64   `json:"follower_simulated"`
+
+	// Phase 3: warm follower — write-backs make every key local.
+	LocalRequests int     `json:"local_requests"`
+	LocalWallMS   float64 `json:"local_wall_ms"`
+	LocalP50MS    float64 `json:"local_hit_p50_ms"`
+	LocalP99MS    float64 `json:"local_hit_p99_ms"`
+	LocalHits     int64   `json:"local_hits"`
+
+	// FleetSimulated is leader + follower simulations across the whole
+	// run; the tiered invariant is FleetSimulated == UniqueSpecs.
+	UniqueSpecs    int          `json:"unique_specs"`
+	FleetSimulated int64        `json:"fleet_simulated"`
+	FollowerTier   *TierStats   `json:"follower_tier,omitempty"`
+	FollowerQueue  QueueStats   `json:"follower_queue"`
+	LeaderQueue    QueueStats   `json:"leader_queue"`
+	Storage        StorageStats `json:"follower_storage"`
+}
+
+// RunTwoTierLoadTest drives a leader/follower pair through the
+// three-phase workload. Both daemons should start empty; the follower
+// must be configured with the leader as its remote tier.
+func RunTwoTierLoadTest(leader, follower *Client, cfg LoadTestConfig) (*TwoTierResult, error) {
+	cfg = cfg.withDefaults()
+	res := &TwoTierResult{Config: cfg, UniqueSpecs: cfg.ColdSpecs}
+	ctx := context.Background()
+
+	lBefore, err := leader.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: reading leader stats: %w", err)
+	}
+
+	population := func(client int) []ltRequest {
+		reqs := make([]ltRequest, cfg.ColdSpecs)
+		for i := range reqs {
+			reqs[i] = ltRequest{spec: loadTestSpec(cfg, (i+client*7)%cfg.ColdSpecs), warm: true}
+		}
+		return reqs
+	}
+
+	// Phase 1: warm the leader.
+	leadLats, _, leadWall, err := fanOut(leader, cfg.Clients, population)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: leader warm phase: %w", err)
+	}
+	res.LeaderRequests = len(leadLats)
+	res.LeaderWallMS = float64(leadWall) / float64(time.Millisecond)
+
+	lWarm, err := leader.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: reading post-warm leader stats: %w", err)
+	}
+	res.LeaderSimulated = lWarm.Queue.Simulated - lBefore.Queue.Simulated
+	if res.LeaderSimulated != int64(cfg.ColdSpecs) {
+		return res, fmt.Errorf("twotier: leader simulated %d, want %d (dedup invariant)",
+			res.LeaderSimulated, cfg.ColdSpecs)
+	}
+
+	// Phase 2: cold follower. Every key is leader-owned, so every
+	// submit must be a read-through remote hit: the follower's engine
+	// probe must not move. The tick-probe baseline is taken here, after
+	// the warm-up, because the probe is process-global — when both
+	// daemons share a process (the self-hosted loadtest), the leader's
+	// phase-1 simulations would otherwise land in the follower's delta.
+	fBefore, err := follower.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: reading follower stats: %w", err)
+	}
+	remoteLats, _, remoteWall, err := fanOut(follower, cfg.Clients, population)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: cold follower phase: %w", err)
+	}
+	res.RemoteRequests = len(remoteLats)
+	res.RemoteWallMS = float64(remoteWall) / float64(time.Millisecond)
+	res.RemoteP50MS = percentileMS(remoteLats, 0.50)
+	res.RemoteP99MS = percentileMS(remoteLats, 0.99)
+	res.RemoteMaxMS = percentileMS(remoteLats, 1.00)
+
+	fCold, err := follower.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: reading post-cold follower stats: %w", err)
+	}
+	res.FollowerSimTicks = fCold.SimTicks - fBefore.SimTicks
+	res.FollowerSims = fCold.Queue.Simulated - fBefore.Queue.Simulated
+	if res.FollowerSimTicks != 0 || res.FollowerSims != 0 {
+		return res, fmt.Errorf("twotier: cold follower simulated %d ticks / %d runs for leader-owned keys, want 0/0",
+			res.FollowerSimTicks, res.FollowerSims)
+	}
+	if fCold.Storage.Tier == nil {
+		return res, fmt.Errorf("twotier: follower reports no tier stats — is it running with -remote?")
+	}
+	res.RemoteHits = fCold.Storage.Tier.RemoteHits
+
+	// Phase 3: warm follower. Write-backs from phase 2 make every key a
+	// local-tier hit; the remote-hit counter must not move again.
+	localLats, _, localWall, err := fanOut(follower, cfg.Clients, population)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: warm follower phase: %w", err)
+	}
+	res.LocalRequests = len(localLats)
+	res.LocalWallMS = float64(localWall) / float64(time.Millisecond)
+	res.LocalP50MS = percentileMS(localLats, 0.50)
+	res.LocalP99MS = percentileMS(localLats, 0.99)
+
+	fAfter, err := follower.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: reading final follower stats: %w", err)
+	}
+	lAfter, err := leader.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("twotier: reading final leader stats: %w", err)
+	}
+	if fAfter.Storage.Tier != nil {
+		res.FollowerTier = fAfter.Storage.Tier
+		res.LocalHits = fAfter.Storage.Tier.LocalHits
+		if fAfter.Storage.Tier.RemoteHits != res.RemoteHits {
+			return res, fmt.Errorf("twotier: warm follower still fetched remotely (%d -> %d remote hits); write-back broken",
+				res.RemoteHits, fAfter.Storage.Tier.RemoteHits)
+		}
+	}
+	res.FleetSimulated = (lAfter.Queue.Simulated - lBefore.Queue.Simulated) +
+		(fAfter.Queue.Simulated - fBefore.Queue.Simulated)
+	if res.FleetSimulated != int64(cfg.ColdSpecs) {
+		return res, fmt.Errorf("twotier: fleet simulated %d for %d unique specs", res.FleetSimulated, cfg.ColdSpecs)
+	}
+	res.FollowerQueue = fAfter.Queue
+	res.LeaderQueue = lAfter.Queue
+	res.Storage = fAfter.Storage
+	return res, nil
+}
+
+// Summary renders the report as the human-readable block the CLI prints.
+func (r *TwoTierResult) Summary() string {
+	return fmt.Sprintf(
+		"twotier: clients=%d unique=%d\n"+
+			"  leader warm:   %d reqs in %.0f ms, simulated %d\n"+
+			"  cold follower: %d reqs in %.0f ms, remote-hit p50 %.2f ms, p99 %.2f ms, max %.2f ms (remote hits %d, follower sim ticks %d)\n"+
+			"  warm follower: %d reqs in %.0f ms, local-hit p50 %.2f ms, p99 %.2f ms\n"+
+			"  fleet: %d simulations for %d unique specs",
+		r.Config.Clients, r.UniqueSpecs,
+		r.LeaderRequests, r.LeaderWallMS, r.LeaderSimulated,
+		r.RemoteRequests, r.RemoteWallMS, r.RemoteP50MS, r.RemoteP99MS, r.RemoteMaxMS,
+		r.RemoteHits, r.FollowerSimTicks,
+		r.LocalRequests, r.LocalWallMS, r.LocalP50MS, r.LocalP99MS,
+		r.FleetSimulated, r.UniqueSpecs)
+}

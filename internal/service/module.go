@@ -15,10 +15,15 @@
 //	queue    — N sharded workers, in-flight dedup (singleflight)
 //	http     — the /v1/scenarios API surface
 //
-// The storage Backend interface (Get/Put/List/Len) is the pluggability
-// hook: the on-disk scenario.Store is the first backend, an in-memory
-// backend ships for tests and ephemeral daemons, and a remote/shared
-// backend for fleet-scale sweeps lands behind the same four methods.
+// The storage Backend interface (context-threaded Get/Put/List/Len,
+// plus the optional Fetcher read-through hook) is the pluggability
+// point: the on-disk scenario.Store is the canonical backend, an
+// in-memory backend ships for tests and ephemeral daemons, and
+// RemoteBackend tiers either onto another scenariod — local tier first,
+// read-through to the shared tier on a miss, write-through on puts,
+// and a circuit breaker that degrades the daemon to local-only when
+// the remote is down, slow, or erroring (remote trouble can only cost
+// cache hits, never a submit).
 //
 // Unlike every other internal package, service is *not* a deterministic
 // simulation layer: it legitimately reads the wall clock and talks to

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -190,8 +191,11 @@ func (q *Queue) shardOf(key string) int {
 // cell exists, coalesce onto an in-flight job when one is already
 // queued or running (singleflight), otherwise enqueue on the key's
 // shard. The returned status is the submit-time snapshot; poll Status
-// (or wait on the HTTP API) for completion.
-func (q *Queue) Submit(spec scenario.Spec) (JobStatus, error) {
+// (or wait on the HTTP API) for completion. The store check is a Fetch
+// — on a tiered daemon a miss reads through to (and may be simulated
+// by) the shared remote tier, so the key's first simulation happens
+// once fleet-wide, wherever the singleflight that owns it runs.
+func (q *Queue) Submit(ctx context.Context, spec scenario.Spec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
@@ -203,7 +207,7 @@ func (q *Queue) Submit(spec scenario.Spec) (JobStatus, error) {
 	q.addStat(&q.stats.submitted)
 
 	// Store first: a finished cell answers immediately, no job needed.
-	if out, ok, err := q.storage.Get(key); err != nil {
+	if out, ok, err := q.storage.Fetch(ctx, spec, key); err != nil {
 		return JobStatus{}, err
 	} else if ok {
 		q.addStat(&q.stats.cacheHits)
@@ -240,15 +244,16 @@ func (q *Queue) Submit(spec scenario.Spec) (JobStatus, error) {
 
 // Status reports a key's progress: in-flight jobs first (including
 // failures held for inspection), then the store. ok=false means the key
-// is neither in flight nor stored.
-func (q *Queue) Status(key string) (JobStatus, bool, error) {
+// is neither in flight nor stored (on a tiered daemon the lookup reads
+// through to the remote, so a leader-owned key polls as done here too).
+func (q *Queue) Status(ctx context.Context, key string) (JobStatus, bool, error) {
 	q.mu.Lock()
 	j, inflight := q.inflight[key]
 	q.mu.Unlock()
 	if inflight {
 		return j.snapshot(), true, nil
 	}
-	out, ok, err := q.storage.Get(key)
+	out, ok, err := q.storage.Get(ctx, key)
 	if err != nil {
 		return JobStatus{}, false, err
 	}
@@ -258,17 +263,22 @@ func (q *Queue) Status(key string) (JobStatus, bool, error) {
 	return JobStatus{Key: key, State: StateDone, Cached: true, Outcome: out}, true, nil
 }
 
-// Wait blocks until the key's in-flight job completes (or returns the
-// stored status immediately). ok=false when the key is unknown.
-func (q *Queue) Wait(key string) (JobStatus, bool, error) {
+// Wait blocks until the key's in-flight job completes, the context is
+// cancelled, or returns the stored status immediately. ok=false when
+// the key is unknown.
+func (q *Queue) Wait(ctx context.Context, key string) (JobStatus, bool, error) {
 	q.mu.Lock()
 	j, inflight := q.inflight[key]
 	q.mu.Unlock()
 	if inflight {
-		<-j.done
-		return j.snapshot(), true, nil
+		select {
+		case <-j.done:
+			return j.snapshot(), true, nil
+		case <-ctx.Done():
+			return j.snapshot(), true, ctx.Err()
+		}
 	}
-	return q.Status(key)
+	return q.Status(ctx, key)
 }
 
 // Inflight lists the in-flight jobs' statuses, sorted by key (outcomes
@@ -336,8 +346,12 @@ func (q *Queue) worker(jobs <-chan *job) {
 		// Put/retire window (store miss observed before the Put, in-flight
 		// check after the retire) and enqueue a duplicate job. The worker
 		// absorbs that race with a store read instead of a simulation, so
-		// "one simulation per unique spec" holds unconditionally.
-		if out, ok, err := q.storage.Get(j.key); err == nil && ok {
+		// "one simulation per unique spec" holds unconditionally. The
+		// re-check is a Fetch: on a tiered daemon it reads through to the
+		// shared tier and may delegate the simulation to the remote —
+		// local engine work is the last resort. Workers run under the
+		// daemon's lifetime context, not any submitter's.
+		if out, ok, err := q.storage.Fetch(context.Background(), j.spec, j.key); err == nil && ok {
 			j.mu.Lock()
 			j.state = StateDone
 			j.cached = true
@@ -355,7 +369,7 @@ func (q *Queue) worker(jobs <-chan *job) {
 		if err == nil {
 			// Persist before publishing: once the job leaves the
 			// in-flight table, pollers must find the cell in the store.
-			err = q.storage.Put(j.spec, out)
+			err = q.storage.Put(context.Background(), j.spec, out)
 		}
 
 		j.mu.Lock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -11,6 +12,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// ctx is the background context every direct backend/module call in
+// these tests runs under.
+var ctx = context.Background()
 
 // testSpec is the cheap single-job fixture; ambient varies the content
 // key.
@@ -137,25 +142,25 @@ func TestMemBackendGC(t *testing.T) {
 	for i := range specs {
 		specs[i] = testSpec(24 + float64(i))
 		keys[i], _ = scenario.Key(specs[i])
-		if err := b.Put(specs[i], out); err != nil {
+		if err := b.Put(ctx, specs[i], out); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Re-put the oldest: it must stay the oldest.
-	if err := b.Put(specs[0], out); err != nil {
+	if err := b.Put(ctx, specs[0], out); err != nil {
 		t.Fatal(err)
 	}
-	res, err := b.GC(scenario.GCConfig{MaxCells: 2})
+	res, err := b.GC(ctx, scenario.GCConfig{MaxCells: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(res.Evicted) != fmt.Sprint(keys[:2]) {
 		t.Errorf("evicted %v, want %v (insertion order, re-put keeps age)", res.Evicted, keys[:2])
 	}
-	if n, _ := b.Len(); n != 2 {
+	if n, _ := b.Len(ctx); n != 2 {
 		t.Errorf("Len = %d after GC, want 2", n)
 	}
-	if _, err := b.GC(scenario.GCConfig{}); err == nil {
+	if _, err := b.GC(ctx, scenario.GCConfig{}); err == nil {
 		t.Error("GC accepted an empty cap set")
 	}
 }
@@ -184,17 +189,17 @@ func TestStorageCaps(t *testing.T) {
 		spec := testSpec(24 + float64(i))
 		key, _ := scenario.Key(spec)
 		keys = append(keys, key)
-		if err := s.Put(spec, out); err != nil {
+		if err := s.Put(ctx, spec, out); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if n, err := s.Len(); err != nil || n != 2 {
+	if n, err := s.Len(ctx); err != nil || n != 2 {
 		t.Fatalf("Len = %d (%v), want 2 under MaxCells=2", n, err)
 	}
-	if _, ok, err := s.Get(keys[0]); err != nil || ok {
+	if _, ok, err := s.Get(ctx, keys[0]); err != nil || ok {
 		t.Errorf("oldest cell survived the cap: ok=%v err=%v", ok, err)
 	}
-	st, err := s.Stats()
+	st, err := s.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,11 +218,13 @@ func TestStorageCaps(t *testing.T) {
 // nopBackend implements Backend but not GCBackend.
 type nopBackend struct{}
 
-func (nopBackend) Name() string                                { return "nop" }
-func (nopBackend) Get(string) (*scenario.Outcome, bool, error) { return nil, false, nil }
-func (nopBackend) Put(scenario.Spec, *scenario.Outcome) error  { return nil }
-func (nopBackend) List() ([]scenario.CellInfo, error)          { return nil, nil }
-func (nopBackend) Len() (int, error)                           { return 0, nil }
+func (nopBackend) Name() string { return "nop" }
+func (nopBackend) Get(context.Context, string) (*scenario.Outcome, bool, error) {
+	return nil, false, nil
+}
+func (nopBackend) Put(context.Context, scenario.Spec, *scenario.Outcome) error { return nil }
+func (nopBackend) List(context.Context) ([]scenario.CellInfo, error)           { return nil, nil }
+func (nopBackend) Len(context.Context) (int, error)                            { return 0, nil }
 
 // TestSingleflightAndByteIdentity is the tentpole's core contract in one
 // scene: k concurrent submits of one never-seen spec cost exactly one
@@ -251,7 +258,7 @@ func TestSingleflightAndByteIdentity(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.Submit(spec, true)
+			results[i], errs[i] = c.Submit(ctx, spec, true)
 		}(i)
 	}
 	wg.Wait()
@@ -283,7 +290,7 @@ func TestSingleflightAndByteIdentity(t *testing.T) {
 	}
 
 	// The poll path returns the same bytes from the store.
-	st, err := c.Get(results[0].Key)
+	st, err := c.Get(ctx, results[0].Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +310,7 @@ func TestWarmRestartServesFromStore(t *testing.T) {
 	spec := testSpec(31)
 
 	d1 := startDaemon(t, Config{StoreDir: dir})
-	st, err := NewClient(d1.BaseURL()).Submit(spec, true)
+	st, err := NewClient(d1.BaseURL()).Submit(ctx, spec, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +334,7 @@ func TestWarmRestartServesFromStore(t *testing.T) {
 		}
 	}()
 	before := scenario.ProbeSimTicks()
-	st2, err := NewClient(d2.BaseURL()).Submit(spec, true)
+	st2, err := NewClient(d2.BaseURL()).Submit(ctx, spec, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,14 +358,14 @@ func TestHTTPValidation(t *testing.T) {
 	c := NewClient(d.BaseURL())
 
 	// Invalid spec (unknown kind): 400.
-	if _, err := c.Submit(scenario.Spec{Kind: "warp"}, false); err == nil {
+	if _, err := c.Submit(ctx, scenario.Spec{Kind: "warp"}, false); err == nil {
 		t.Error("invalid spec accepted")
 	} else if se, ok := err.(*StatusError); !ok || se.Code != 400 {
 		t.Errorf("invalid spec: %v, want HTTP 400", err)
 	}
 
 	// Unknown key: 404, recognizable via IsNotFound.
-	if _, err := c.Get("deadbeef"); !IsNotFound(err) {
+	if _, err := c.Get(ctx, "deadbeef"); !IsNotFound(err) {
 		t.Errorf("unknown key: %v, want 404", err)
 	}
 
@@ -381,11 +388,11 @@ func TestListAndStats(t *testing.T) {
 	d := startDaemon(t, Config{})
 	c := NewClient(d.BaseURL())
 	for i := 0; i < 2; i++ {
-		if _, err := c.Submit(testSpec(40+float64(i)), true); err != nil {
+		if _, err := c.Submit(ctx, testSpec(40+float64(i)), true); err != nil {
 			t.Fatal(err)
 		}
 	}
-	lr, err := c.List()
+	lr, err := c.List(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +404,7 @@ func TestListAndStats(t *testing.T) {
 			t.Error("listing not sorted by key")
 		}
 	}
-	sr, err := c.Stats()
+	sr, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,11 +429,11 @@ func TestStoppedQueueRejectsSubmits(t *testing.T) {
 	if err := d.Stop(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Queue().Submit(testSpec(24)); err != ErrStopped {
+	if _, err := d.Queue().Submit(ctx, testSpec(24)); err != ErrStopped {
 		t.Errorf("submit after stop: %v, want ErrStopped", err)
 	}
 	// Stopped storage answers ErrStopped too (not a panic).
-	if _, _, err := d.Storage().Get("deadbeef"); err != ErrStopped {
+	if _, _, err := d.Storage().Get(ctx, "deadbeef"); err != ErrStopped {
 		t.Errorf("storage get after stop: %v, want ErrStopped", err)
 	}
 }

@@ -1,10 +1,18 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/scenario"
 )
+
+// defaultReqTimeout bounds one backend operation inside the storage
+// serve loop. Local backends finish in microseconds; the bound exists
+// for tiered backends whose Get/Fetch may cross the network (those also
+// apply their own, tighter remote deadline).
+const defaultReqTimeout = 30 * time.Second
 
 // Storage is the storage module: it owns the Backend and serializes
 // every access through a request/reply channel served by one goroutine
@@ -12,10 +20,18 @@ import (
 // contract simple — a Put and the GC pass it triggers are one atomic
 // step from every other module's point of view, and backends need no
 // locking of their own.
+//
+// Every public method takes the caller's context; the serve loop derives
+// a per-request deadline (ReqTimeout) under it before touching the
+// backend, so a stuck or slow backend call is cancelled instead of
+// wedging the goroutine for everyone behind it.
 type Storage struct {
 	backend Backend
 	// gc caps the cache tier; the zero value disables eviction.
 	gc scenario.GCConfig
+	// ReqTimeout bounds each backend call made by the serve loop; zero
+	// selects defaultReqTimeout. Set before Configure.
+	ReqTimeout time.Duration
 
 	reqs chan storageReq
 	done chan struct{}
@@ -34,6 +50,10 @@ type StorageStats struct {
 	// GC pass (List-derived; refreshed lazily on Stats when never put).
 	Cells int64 `json:"cells"`
 	Bytes int64 `json:"bytes"`
+	// Tier is present when the backend is tiered (RemoteBackend): the
+	// local/remote hit split, remote failure accounting, and the circuit
+	// breaker's state. Nil for single-tier backends.
+	Tier *TierStats `json:"tier,omitempty"`
 }
 
 // storageOp selects the request kind.
@@ -41,6 +61,7 @@ type storageOp int
 
 const (
 	opGet storageOp = iota
+	opFetch
 	opPut
 	opList
 	opLen
@@ -51,6 +72,7 @@ const (
 // channel is buffered so the server never blocks on a dead client.
 type storageReq struct {
 	op    storageOp
+	ctx   context.Context
 	key   string
 	spec  scenario.Spec
 	out   *scenario.Outcome
@@ -90,6 +112,9 @@ func (s *Storage) Configure() error {
 			return fmt.Errorf("storage: backend %s does not support eviction (cache caps need a GCBackend)", s.backend.Name())
 		}
 	}
+	if s.ReqTimeout == 0 {
+		s.ReqTimeout = defaultReqTimeout
+	}
 	s.reqs = make(chan storageReq)
 	s.done = make(chan struct{})
 	return nil
@@ -116,43 +141,79 @@ var ErrStopped = fmt.Errorf("service: module stopped")
 func (s *Storage) serve() {
 	defer close(s.done)
 	for req := range s.reqs {
+		// Per-request deadline: the caller's context (already cancelled
+		// if the client went away) capped by the module bound.
+		base := req.ctx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, s.ReqTimeout)
 		var resp storageResp
 		switch req.op {
 		case opGet:
-			out, ok, err := s.backend.Get(req.key)
+			out, ok, err := s.backend.Get(ctx, req.key)
+			s.stats.Gets++
+			if ok {
+				s.stats.Hits++
+			}
+			resp = storageResp{out: out, ok: ok, err: err}
+		case opFetch:
+			out, ok, err := s.fetch(ctx, req.spec, req.key)
 			s.stats.Gets++
 			if ok {
 				s.stats.Hits++
 			}
 			resp = storageResp{out: out, ok: ok, err: err}
 		case opPut:
-			err := s.backend.Put(req.spec, req.out)
+			err := s.backend.Put(ctx, req.spec, req.out)
 			if err == nil {
 				s.stats.Puts++
-				err = s.maybeGC()
+				err = s.maybeGC(ctx)
 			}
 			resp = storageResp{err: err}
 		case opList:
-			infos, err := s.backend.List()
+			infos, err := s.backend.List(ctx)
 			resp = storageResp{infos: infos, err: err}
 		case opLen:
-			n, err := s.backend.Len()
+			n, err := s.backend.Len(ctx)
 			resp = storageResp{n: n, err: err}
 		case opStats:
 			if s.stats.Puts == 0 && s.stats.Cells == 0 {
-				s.refreshFootprint()
+				s.refreshFootprint(ctx)
 			}
-			resp = storageResp{stats: s.stats}
+			resp = storageResp{stats: s.statsSnapshot()}
 		}
+		cancel()
 		req.reply <- resp
 	}
 }
 
+// fetch resolves a key with the spec in hand: tiered backends read
+// through (and may delegate the simulation to their remote); plain
+// backends degrade to Get.
+func (s *Storage) fetch(ctx context.Context, spec scenario.Spec, key string) (*scenario.Outcome, bool, error) {
+	if f, ok := s.backend.(Fetcher); ok {
+		return f.Fetch(ctx, spec, key)
+	}
+	return s.backend.Get(ctx, key)
+}
+
+// statsSnapshot copies the counters and attaches the tier split when the
+// backend keeps one.
+func (s *Storage) statsSnapshot() StorageStats {
+	st := s.stats
+	if ts, ok := s.backend.(TierStatter); ok {
+		tier := ts.TierStats()
+		st.Tier = &tier
+	}
+	return st
+}
+
 // maybeGC runs an eviction pass when caps are configured, then refreshes
 // the footprint snapshot.
-func (s *Storage) maybeGC() error {
+func (s *Storage) maybeGC(ctx context.Context) error {
 	if s.gc.Enabled() {
-		res, err := s.backend.(GCBackend).GC(s.gc)
+		res, err := s.backend.(GCBackend).GC(ctx, s.gc)
 		if err != nil {
 			return err
 		}
@@ -161,13 +222,13 @@ func (s *Storage) maybeGC() error {
 		s.stats.Bytes = res.RemainingBytes
 		return nil
 	}
-	s.refreshFootprint()
+	s.refreshFootprint(ctx)
 	return nil
 }
 
 // refreshFootprint recomputes the Cells/Bytes snapshot from a listing.
-func (s *Storage) refreshFootprint() {
-	infos, err := s.backend.List()
+func (s *Storage) refreshFootprint(ctx context.Context) {
+	infos, err := s.backend.List(ctx)
 	if err != nil {
 		return // footprint is advisory; the next pass retries
 	}
@@ -192,31 +253,39 @@ func (s *Storage) call(req storageReq) (resp storageResp) {
 }
 
 // Get looks a content key up in the backend.
-func (s *Storage) Get(key string) (*scenario.Outcome, bool, error) {
-	resp := s.call(storageReq{op: opGet, key: key})
+func (s *Storage) Get(ctx context.Context, key string) (*scenario.Outcome, bool, error) {
+	resp := s.call(storageReq{op: opGet, ctx: ctx, key: key})
+	return resp.out, resp.ok, resp.err
+}
+
+// Fetch looks a key up with the spec available, letting a tiered
+// backend resolve the miss remotely (the queue's workers use this so a
+// miss costs the fleet one simulation, wherever it runs).
+func (s *Storage) Fetch(ctx context.Context, spec scenario.Spec, key string) (*scenario.Outcome, bool, error) {
+	resp := s.call(storageReq{op: opFetch, ctx: ctx, spec: spec, key: key})
 	return resp.out, resp.ok, resp.err
 }
 
 // Put persists an outcome and, when caps are configured, trims the
 // cache tier in the same serialized step.
-func (s *Storage) Put(spec scenario.Spec, out *scenario.Outcome) error {
-	return s.call(storageReq{op: opPut, spec: spec, out: out}).err
+func (s *Storage) Put(ctx context.Context, spec scenario.Spec, out *scenario.Outcome) error {
+	return s.call(storageReq{op: opPut, ctx: ctx, spec: spec, out: out}).err
 }
 
 // List inspects the backend's cells.
-func (s *Storage) List() ([]scenario.CellInfo, error) {
-	resp := s.call(storageReq{op: opList})
+func (s *Storage) List(ctx context.Context) ([]scenario.CellInfo, error) {
+	resp := s.call(storageReq{op: opList, ctx: ctx})
 	return resp.infos, resp.err
 }
 
 // Len counts the backend's cells.
-func (s *Storage) Len() (int, error) {
-	resp := s.call(storageReq{op: opLen})
+func (s *Storage) Len(ctx context.Context) (int, error) {
+	resp := s.call(storageReq{op: opLen, ctx: ctx})
 	return resp.n, resp.err
 }
 
 // Stats snapshots the module's accounting.
-func (s *Storage) Stats() (StorageStats, error) {
-	resp := s.call(storageReq{op: opStats})
+func (s *Storage) Stats(ctx context.Context) (StorageStats, error) {
+	resp := s.call(storageReq{op: opStats, ctx: ctx})
 	return resp.stats, resp.err
 }

@@ -159,8 +159,65 @@ kill -TERM "$svc_pid"
 wait "$svc_pid"
 grep -q "clean shutdown" "$svc_dir/serve.log"
 
+# Two-tier smoke: a leader daemon plus a follower serving the same spec
+# through `-remote`. The follower must delegate the simulation to the
+# leader (its own sim_ticks stay 0), answer the resubmit from its local
+# tier (leader's ticks don't move again), and — the headline guarantee —
+# keep accepting submits after the leader is killed, with the degraded
+# counters visible in /v1/stats.
+tier_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir" "$coord_store" "$fault_store" "$svc_dir" "$tier_dir"' EXIT
+"$svc_dir/scenariod" serve -addr 127.0.0.1:0 -store "$tier_dir/leader-cells" > "$tier_dir/leader.log" 2>&1 &
+leader_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "scenariod listening on " "$tier_dir/leader.log" && break
+    sleep 0.2
+done
+leader_addr=$(sed -n 's/^scenariod listening on \([^ ]*\).*/\1/p' "$tier_dir/leader.log")
+test -n "$leader_addr"
+
+"$svc_dir/scenariod" serve -addr 127.0.0.1:0 -store "$tier_dir/follower-cells" \
+    -remote "http://$leader_addr" -remote-timeout 2s > "$tier_dir/follower.log" 2>&1 &
+follower_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "scenariod listening on " "$tier_dir/follower.log" && break
+    sleep 0.2
+done
+follower_addr=$(sed -n 's/^scenariod listening on \([^ ]*\).*/\1/p' "$tier_dir/follower.log")
+test -n "$follower_addr"
+
+# Submit via the follower: the leader simulates, the follower doesn't.
+"$svc_dir/scenariod" submit -addr "$follower_addr" -wait -spec "$svc_dir/spec.json" > "$tier_dir/first.json"
+grep -q '"state": "done"' "$tier_dir/first.json"
+follower_ticks=$("$svc_dir/scenariod" stats -addr "$follower_addr" | sed -n 's/.*"sim_ticks": \([0-9]*\).*/\1/p')
+test "$follower_ticks" = "0"
+leader_ticks=$("$svc_dir/scenariod" stats -addr "$leader_addr" | sed -n 's/.*"sim_ticks": \([0-9]*\).*/\1/p')
+test "$leader_ticks" != "0"
+
+# Resubmit: the write-back made it a follower-local hit; the leader's
+# tick probe must not move again.
+"$svc_dir/scenariod" submit -addr "$follower_addr" -wait -spec "$svc_dir/spec.json" > "$tier_dir/second.json"
+grep -q '"cached": true' "$tier_dir/second.json"
+leader_ticks2=$("$svc_dir/scenariod" stats -addr "$leader_addr" | sed -n 's/.*"sim_ticks": \([0-9]*\).*/\1/p')
+test "$leader_ticks" = "$leader_ticks2"
+"$svc_dir/scenariod" stats -addr "$follower_addr" | grep -q '"remote_hits": 1'
+
+# Kill the leader: the follower must still serve submits — a new spec is
+# simulated locally, and the degraded counters show the breaker at work.
+kill -TERM "$leader_pid"
+wait "$leader_pid"
+sed 's/"ci-smoke"/"ci-smoke-degraded"/' "$svc_dir/spec.json" > "$tier_dir/spec2.json"
+"$svc_dir/scenariod" submit -addr "$follower_addr" -wait -spec "$tier_dir/spec2.json" > "$tier_dir/degraded.json"
+grep -q '"state": "done"' "$tier_dir/degraded.json"
+"$svc_dir/scenariod" stats -addr "$follower_addr" > "$tier_dir/stats.json"
+grep -q '"remote_errors": [1-9]' "$tier_dir/stats.json"
+
+kill -TERM "$follower_pid"
+wait "$follower_pid"
+grep -q "clean shutdown" "$tier_dir/follower.log"
+
 # Perf-trajectory gate: fresh trajectory numbers against the committed
-# PR 8 baseline via benchjson -compare (the gate ratchets: each PR
+# PR 9 baseline via benchjson -compare (the gate ratchets: each PR
 # appends BENCH_PR<n>.json and the next gates against it). The
 # threshold is deliberately wide (60%): this 1-core shared container
 # drifts 15-35% between sessions on bit-identical hot paths (measured
@@ -168,5 +225,5 @@ grep -q "clean shutdown" "$svc_dir/serve.log"
 # catches real blowups, and allocs/op regressions — which are
 # deterministic — are judged by the same factor against integer counts,
 # so any alloc creep on a 0-alloc path fails regardless.
-go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkVotingChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun|BenchmarkServiceStoreHit' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
-go run ./cmd/benchjson -compare BENCH_PR8.json -threshold 0.60 < "$store_dir/bench.out"
+go test -run xxx -bench 'BenchmarkNetworkStep$|BenchmarkServerTick|BenchmarkFaultChain|BenchmarkVotingChain|BenchmarkLockstepVsBatch|BenchmarkFleetFixedPoint|BenchmarkFleetCoordinator|BenchmarkScenarioStoreHit|BenchmarkScenarioRerun|BenchmarkServiceStoreHit|BenchmarkRemoteBackendHit' -benchtime 0.5s -benchmem . > "$store_dir/bench.out"
+go run ./cmd/benchjson -compare BENCH_PR9.json -threshold 0.60 < "$store_dir/bench.out"
